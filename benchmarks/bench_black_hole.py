@@ -1,0 +1,28 @@
+"""EXP-BH -- black-hole machines and the §5 defenses.
+
+"A small number of misconfigured machines in our Condor pool attracted a
+continuous stream of jobs that would attempt to execute, fail, and be
+returned to the schedd. ... there was continuous waste of CPU and network
+capacity."  Compares no defense, the startd self-test (the paper's fix),
+and schedd chronic-failure avoidance (the paper's complementary idea).
+"""
+
+from repro.harness.experiments import run_black_hole
+
+
+def test_black_hole_defenses(benchmark):
+    result = benchmark.pedantic(
+        run_black_hole,
+        kwargs=dict(seed=0, n_jobs=16, n_machines=6, n_black_holes=2),
+        rounds=3, iterations=1,
+    )
+    print()
+    print(result.table().render())
+    none, selftest, avoid = (
+        result.row("none"), result.row("self-test"), result.row("avoidance")
+    )
+    assert none.completed == selftest.completed == avoid.completed == 16
+    assert none.wasted_attempts > 0  # the black holes eat work
+    assert selftest.wasted_attempts == 0  # the paper's fix eliminates it
+    assert avoid.wasted_attempts < none.wasted_attempts  # avoidance bounds it
+    assert selftest.network_bytes < none.network_bytes

@@ -1,0 +1,20 @@
+"""EXP-CKPT -- Standard Universe checkpointing ablation (paper §2.1).
+
+Condor is "uniquely prepared to deal with an unfriendly execution
+environment by using tools such as process migration and transparent
+remote I/O" -- this bench ablates the checkpointing half of that claim
+under an eviction storm.
+"""
+
+from repro.harness.experiments import run_checkpoint_ablation
+
+
+def test_checkpoint_ablation(benchmark):
+    result = benchmark.pedantic(run_checkpoint_ablation, rounds=3, iterations=1)
+    print()
+    print(result.table().render())
+    with_ckpt = result.row(True)
+    without = result.row(False)
+    assert with_ckpt.completed == without.completed  # both finish eventually
+    assert with_ckpt.reexecuted_steps < without.reexecuted_steps
+    assert with_ckpt.makespan <= without.makespan

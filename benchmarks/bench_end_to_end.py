@@ -1,0 +1,28 @@
+"""EXP-E2E -- implicit errors and the end-to-end layer (paper §5).
+
+"Despite low-level error correction, implicit errors have been observed
+in increasingly uncomfortable rates in networks ... The end-to-end
+principle tells us that the ultimate responsibility for detecting such
+errors lies with a higher level of software."
+"""
+
+from repro.harness.experiments import run_end_to_end
+
+
+def test_end_to_end_layer(benchmark):
+    result = benchmark.pedantic(
+        run_end_to_end,
+        kwargs=dict(seed=0, n_jobs=12, n_machines=4, corruption_probability=0.25),
+        rounds=3, iterations=1,
+    )
+    print()
+    print(result.table().render())
+    bare = result.row("no end-to-end layer")
+    layered = result.row("end-to-end layer")
+    # Without the layer, corrupted outputs are delivered as success...
+    assert bare.wrong_outputs_delivered > 0
+    assert bare.implicit_errors_caught == 0
+    # ...with it, every implicit error is caught and retried away.
+    assert layered.wrong_outputs_delivered == 0
+    assert layered.final_valid_outputs == 12
+    assert layered.resubmits > 0

@@ -1,0 +1,22 @@
+"""EXP-FAIR -- matchmaker fair-share ablation (substrate).
+
+Not a paper figure: an ablation of the negotiation order.  A
+high-throughput system serving a *community* (§2.1) must arbitrate
+between users; fair share keeps a flooding user from starving a small
+one.
+"""
+
+from repro.harness.experiments import run_fair_share
+
+
+def test_fair_share(benchmark):
+    result = benchmark.pedantic(run_fair_share, rounds=3, iterations=1)
+    print()
+    print(result.table().render())
+    fair = result.row(True)
+    unfair = result.row(False)
+    # The small user gets in far earlier under fair share...
+    assert fair.small_user_done_at < unfair.small_user_done_at
+    assert fair.small_user_mean_turnaround < unfair.small_user_mean_turnaround
+    # ...at modest cost to the flooding user.
+    assert fair.flood_user_mean_turnaround >= unfair.flood_user_mean_turnaround

@@ -1,0 +1,18 @@
+"""FIG1 -- the Condor kernel (paper Figure 1).
+
+Regenerates the protocol trace of a healthy pool: advertising,
+matchmaking, claiming, shadow/starter execution -- and times a full
+8-job/4-machine run of the simulated kernel.
+"""
+
+from repro.harness.experiments import run_fig1_kernel
+
+
+def test_fig1_kernel(benchmark):
+    result = benchmark.pedantic(run_fig1_kernel, rounds=3, iterations=1)
+    print()
+    print(result.table().render())
+    assert result.completed == result.jobs
+    assert result.matches == result.jobs
+    assert result.claims_granted == result.jobs
+    assert result.shadows_spawned == result.jobs

@@ -1,0 +1,16 @@
+"""FIG2 -- the Java Universe (paper Figure 2).
+
+Regenerates the two-hop I/O path: program -> Chirp proxy -> shadow RPC ->
+home file system, counting requests and bytes at each hop.
+"""
+
+from repro.harness.experiments import run_fig2_java_universe
+
+
+def test_fig2_java_universe(benchmark):
+    result = benchmark.pedantic(run_fig2_java_universe, rounds=3, iterations=1)
+    print()
+    print(result.table().render())
+    assert result.completed
+    assert result.output_written
+    assert result.chirp_requests == result.rpc_requests

@@ -1,0 +1,14 @@
+"""FIG3 -- error scopes and their handling programs (paper Figure 3).
+
+For each scope's canonical fault, verifies the error is delivered to
+exactly the handler Figure 3 names, with the disposition §4 prescribes.
+"""
+
+from repro.harness.experiments import run_fig3_scopes
+
+
+def test_fig3_scopes(benchmark):
+    result = benchmark.pedantic(run_fig3_scopes, rounds=3, iterations=1)
+    print()
+    print(result.table().render())
+    assert result.all_correct

@@ -1,0 +1,19 @@
+"""FIG4 -- JVM result codes (paper Figure 4).
+
+Regenerates the paper's table exactly: seven execution details, the bare
+JVM's result codes (five failures collapse onto code 1), and the
+wrapper's recovered scopes (all seven distinguished).
+"""
+
+from repro.harness.experiments import run_fig4_result_codes
+
+
+def test_fig4_result_codes(benchmark):
+    result = benchmark.pedantic(run_fig4_result_codes, rounds=5, iterations=1)
+    print()
+    print(result.table().render())
+    # The paper's column: 0, x, 1, 1, 1, 1, 1.
+    assert result.bare_codes == [0, 5, 1, 1, 1, 1, 1]
+    # "The result code is not useful, because it does not distinguish
+    # error scopes" -- but the wrapper does.
+    assert result.distinct_wrapper_reports == 7

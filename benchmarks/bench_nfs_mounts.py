@@ -1,0 +1,32 @@
+"""EXP-NFS -- the hard/soft mount dilemma (paper §5).
+
+"a file system may either be 'hard mounted' to hide all network errors or
+'soft mounted' to expose them to callers after a certain retry period
+expires. ... both of these choices are unsavory, as they offer no
+mechanism for a single program to choose its own failure criteria."
+The third row implements exactly that missing mechanism.
+"""
+
+from repro.harness.experiments import run_nfs_mounts
+
+
+def test_nfs_mount_dilemma(benchmark):
+    result = benchmark.pedantic(
+        run_nfs_mounts,
+        kwargs=dict(outages=(5.0, 60.0, 600.0), soft_timeout=30.0, deadline=120.0),
+        rounds=3, iterations=1,
+    )
+    print()
+    print(result.table().render())
+    by_key = {(r.outage, r.mode): r for r in result.rows}
+    # Short outage: everyone fine.
+    assert all(by_key[(5.0, m)].outcome == "completed"
+               for m in ("hard", "soft", "per-op deadline"))
+    # Hard hides even a 10-minute outage (the job just hangs).
+    assert by_key[(600.0, "hard")].outcome == "completed"
+    assert by_key[(600.0, "hard")].elapsed >= 600.0
+    # Soft exposes a 1-minute outage the program could have survived.
+    assert by_key[(60.0, "soft")].outcome == "error ETIMEDOUT"
+    # Per-operation deadline: the crossover lands where the program asked.
+    assert by_key[(60.0, "per-op deadline")].outcome == "completed"
+    assert by_key[(600.0, "per-op deadline")].outcome == "error ETIMEDOUT"

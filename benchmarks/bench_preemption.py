@@ -1,0 +1,24 @@
+"""EXP-PREEMPT -- rank preemption x checkpointing (substrate ablation).
+
+The owner's Rank expression "enforces the machine owner's policy
+regarding when and how visiting jobs may be executed" (§2.1); preemption
+is its teeth, and checkpointing is what keeps those teeth from wasting
+the preempted job's work.
+"""
+
+from repro.harness.experiments import run_preemption
+
+
+def test_preemption_ablation(benchmark):
+    result = benchmark.pedantic(run_preemption, rounds=3, iterations=1)
+    print()
+    print(result.table().render())
+    none = result.row("no preemption")
+    ckpt = result.row("preemption + checkpointing")
+    raw = result.row("preemption, no checkpointing")
+    # Preemption slashes the preferred user's wait.
+    assert ckpt.boss_turnaround < none.boss_turnaround / 3
+    assert ckpt.evictions >= 1 and raw.evictions >= 1
+    # Checkpointing bounds the preempted job's wasted work.
+    assert ckpt.peon_steps_executed < raw.peon_steps_executed
+    assert none.evictions == 0

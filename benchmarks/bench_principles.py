@@ -1,0 +1,21 @@
+"""EXP-P1..P4 -- auditing the four principles (paper §3).
+
+The auditor counts violations of each principle across identical runs of
+the naive and scoped configurations.  The paper's claim: the redesign's
+"necessary changes were small but powerful" -- i.e. the scoped system
+violates none of the principles the naive one violates.
+"""
+
+from repro.harness.experiments import run_principles
+
+
+def test_principle_violations(benchmark):
+    result = benchmark.pedantic(
+        run_principles, kwargs=dict(seed=0, n_jobs=24, n_machines=6),
+        rounds=3, iterations=1,
+    )
+    print()
+    print(result.table().render())
+    assert result.naive[1] > 0  # implicit errors from explicit errors
+    assert result.naive[4] > 0  # the generic IOException interface
+    assert all(result.scoped[p] == 0 for p in (1, 2, 3, 4))

@@ -1,0 +1,23 @@
+"""EXP-RETRY -- the schedd's retry budget (policy ablation).
+
+"Anything in between causes it to log the error and then attempt to
+execute the program at a new site" (§4) -- but how many attempts?  The
+sweep finds the knee: enough retries to route around every broken
+machine, after which more budget buys nothing.
+"""
+
+from repro.harness.experiments import run_retry_sweep
+
+
+def test_retry_budget_sweep(benchmark):
+    result = benchmark.pedantic(run_retry_sweep, rounds=3, iterations=1)
+    print()
+    print(result.table().render())
+    # Budget 0 is the naive disposition (first env error -> user).
+    assert result.row(0).held > 0
+    # Completions are monotone in budget...
+    completions = [row.completed for row in result.rows]
+    assert completions == sorted(completions)
+    # ...and saturate at full completion once the budget clears the knee.
+    assert result.rows[-1].completed == result.n_jobs
+    assert result.rows[-1].held == 0

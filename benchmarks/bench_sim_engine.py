@@ -1,0 +1,63 @@
+"""Substrate microbenchmarks: the discrete-event kernel.
+
+Ablation support: experiment wall-times are dominated by event dispatch,
+so this pins the kernel's events/second and process context-switch cost.
+"""
+
+from repro.sim.engine import Simulator
+
+
+def test_event_dispatch(benchmark):
+    def run_events(n=10_000):
+        sim = Simulator()
+        count = [0]
+        for i in range(n):
+            sim.call_at(float(i), lambda: count.__setitem__(0, count[0] + 1))
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_events) == 10_000
+
+
+def test_process_switching(benchmark):
+    def run_processes(n_procs=100, n_yields=100):
+        sim = Simulator()
+
+        def proc(sim):
+            for _ in range(n_yields):
+                yield sim.timeout(1.0)
+
+        for _ in range(n_procs):
+            sim.spawn(proc(sim))
+        return sim.run()
+
+    assert benchmark(run_processes) == 100.0
+
+
+def test_network_round_trips(benchmark):
+    from repro.sim.network import Network
+
+    def run_pingpong(n=200):
+        sim = Simulator()
+        net = Network(sim)
+        listener = net.listen("server", 1)
+
+        def server(sim):
+            conn = yield from listener.accept()
+            for _ in range(n):
+                msg = yield from conn.recv()
+                conn.send(msg)
+
+        def client(sim):
+            conn = yield from net.connect("client", "server", 1)
+            for i in range(n):
+                conn.send(i)
+                yield from conn.recv()
+            return True
+
+        sim.spawn(server(sim)).defuse()
+        proc = sim.spawn(client(sim))
+        sim.run()
+        return proc.value
+
+    assert benchmark(run_pingpong) is True

@@ -1,0 +1,20 @@
+"""EXP-SCOPE-TIME -- time-dependent scope resolution (paper §5).
+
+"A failure to communicate for one second may be of network scope, but a
+failure to communicate for a year likely has larger scope."  The
+escalation ladder assigns process scope to blips and wider scopes to
+persistent outages.
+"""
+
+from repro.harness.experiments import run_time_scope
+
+
+def test_time_scope_escalation(benchmark):
+    result = benchmark.pedantic(run_time_scope, rounds=5, iterations=1)
+    print()
+    print(result.table().render())
+    assert result.accuracy == 1.0
+    # The decision delay for persistent outages equals the threshold.
+    persistent = [r for r in result.rows if r.assigned == "remote-resource"]
+    assert persistent
+    assert all(r.decided_after >= result.threshold for r in persistent)

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Two extensions the paper points at but does not build (§2.1, §5):
+
+1. Standard Universe checkpointing under an eviction storm -- Condor's
+   "transparent checkpointing" measured as re-executed work saved;
+2. the end-to-end layer above Condor catching *implicit* errors (silent
+   network corruption) that no layer below the application can see.
+
+Run:  python examples/checkpointing_and_e2e.py
+"""
+
+from repro.harness.experiments import run_checkpoint_ablation, run_end_to_end
+
+
+def main() -> None:
+    print(run_checkpoint_ablation().table().render())
+    print()
+    ckpt = run_checkpoint_ablation()
+    saved = ckpt.row(False).reexecuted_steps - ckpt.row(True).reexecuted_steps
+    print(f"Checkpointing saved {saved} re-executed steps under the same "
+          "eviction schedule.")
+    print()
+    result = run_end_to_end()
+    print(result.table().render())
+    print()
+    bare = result.row("no end-to-end layer")
+    print(f"Without output analysis, {bare.wrong_outputs_delivered} corrupted "
+          "outputs were delivered as success --")
+    print("\"the ultimate responsibility for detecting such errors lies with "
+          "a higher level of software.\" (§5)")
+
+
+if __name__ == "__main__":
+    main()

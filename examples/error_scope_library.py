@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Using the error-scope theory as a standalone library.
+
+The core abstractions -- scopes, the implicit/explicit/escaping taxonomy,
+finite error interfaces, scope-manager chains, and the principle auditor
+-- are independent of the Condor simulation.  This example applies them
+to the paper's running examples: the FileWriter interface of §3.4 and the
+virtual-memory system of §3.2.
+
+Run:  python examples/error_scope_library.py
+"""
+
+from repro.core import (
+    ErrorInterface,
+    ErrorScope,
+    EscapingError,
+    ManagementChain,
+    PrincipleAuditor,
+    ScopeManager,
+    explicit,
+)
+
+
+def revised_file_writer() -> ErrorInterface:
+    """The paper's §3.4 prescription, verbatim:
+
+        class FileWriter {
+            FileWriter( File f ) throws FileNotFound, AccessDenied;
+            void write( int )    throws DiskFull;
+        }
+    """
+    iface = ErrorInterface("FileWriter")
+    iface.operation("open", {"FileNotFound", "AccessDenied"})
+    iface.operation("write", {"DiskFull"})
+    return iface
+
+
+def main() -> None:
+    # -- Principle 4: concise, finite interfaces --------------------------
+    writer = revised_file_writer()
+    print("interface:", *(str(op) for op in writer.operations()), sep="\n  ")
+    print()
+
+    # A declared error passes through as an ordinary explicit result:
+    err = explicit("DiskFull", ErrorScope.FILE, detail="/home/user/out")
+    returned = writer.vet("write", err)
+    print(f"write -> explicit {returned}")
+
+    # An out-of-contract error is converted to an escaping error (P2):
+    lost = explicit("ConnectionLost", ErrorScope.PROCESS, detail="avian carrier down")
+    try:
+        writer.vet("write", lost)
+    except EscapingError as esc:
+        print(f"write -> ESCAPING {esc.error} (converted at the interface)")
+    print()
+
+    # -- Principle 3: propagate to the manager of the scope -----------------
+    chain = ManagementChain([
+        ScopeManager("function", {ErrorScope.FILE, ErrorScope.FUNCTION}),
+        ScopeManager("process", {ErrorScope.PROGRAM, ErrorScope.PROCESS}),
+        ScopeManager("cluster", {ErrorScope.CLUSTER, ErrorScope.REMOTE_RESOURCE}),
+        ScopeManager("system", {ErrorScope.LOCAL_RESOURCE, ErrorScope.JOB, ErrorScope.POOL}),
+    ])
+    outcome = chain.propagate(lost.rescoped(ErrorScope.PROCESS), discovered_by="function")
+    print(f"ConnectionLost routed to: {outcome.handler} (hops: {outcome.hops})")
+    print()
+    print("trace:")
+    print(chain.trace.render())
+    print()
+
+    # -- The auditor --------------------------------------------------------
+    auditor = PrincipleAuditor()
+    auditor.audit_interfaces([writer])
+    auditor.audit_trace(chain.trace)
+    print(auditor.render())
+
+
+if __name__ == "__main__":
+    main()

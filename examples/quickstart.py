@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: submit Java jobs to a simulated Condor pool and watch them run.
+
+Builds a four-machine pool, submits three jobs (a clean one, one that
+calls System.exit, one that throws), runs the simulation, and prints the
+user log plus each job's delivered result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.condor import Job, Pool, PoolConfig, ProgramImage, Universe
+from repro.jvm.program import JavaProgram, Step
+
+
+def main() -> None:
+    pool = Pool(PoolConfig(n_machines=4, seed=42))
+
+    # A well-behaved job: compute for 20 simulated CPU-seconds.
+    clean = Job(
+        "1.0",
+        owner="alice",
+        universe=Universe.JAVA,
+        image=ProgramImage("clean.class", program=JavaProgram(steps=[Step.compute(20.0)])),
+    )
+
+    # A job that exits with a code -- a result the user wants verbatim.
+    coder = Job(
+        "1.1",
+        owner="alice",
+        universe=Universe.JAVA,
+        image=ProgramImage(
+            "coder.class",
+            program=JavaProgram(steps=[Step.compute(5.0), Step.exit(3)]),
+        ),
+    )
+
+    # A buggy job: "users wanted to see program generated errors such as
+    # an ArrayIndexOutOfBoundsException" (paper §2.3).
+    buggy = Job(
+        "1.2",
+        owner="alice",
+        universe=Universe.JAVA,
+        image=ProgramImage(
+            "buggy.class",
+            program=JavaProgram(
+                steps=[Step.compute(2.0), Step.throw("ArrayIndexOutOfBoundsException")]
+            ),
+        ),
+    )
+
+    for job in (clean, coder, buggy):
+        pool.submit(job)
+
+    pool.run_until_done(max_time=10_000)
+
+    print("=== user log ===")
+    print(pool.userlog.render())
+    print()
+    print("=== delivered results ===")
+    for job in (clean, coder, buggy):
+        print(f"  {job.job_id}: {job.state.value:<10} {job.final_result}")
+        site = job.attempts[0].site if job.attempts else "-"
+        print(f"        ran on {site}, {job.attempt_count} attempt(s)")
+
+
+if __name__ == "__main__":
+    main()

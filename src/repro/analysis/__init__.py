@@ -1,0 +1,26 @@
+"""Trace analytics: quantitative views over propagation traces.
+
+The :class:`~repro.core.propagation.PropagationTrace` records every
+error's journey; this package turns those journeys into the numbers and
+tables the experiments report:
+
+- :mod:`repro.analysis.journeys` -- per-error journey reconstruction,
+  hop counts, discovery-to-handling latency, handler histograms, and an
+  observed scope -> handler map (Figure 3, as measured).
+"""
+
+from repro.analysis.journeys import (
+    Journey,
+    JourneyStats,
+    analyze_trace,
+    journeys,
+    observed_scope_map,
+)
+
+__all__ = [
+    "Journey",
+    "JourneyStats",
+    "analyze_trace",
+    "journeys",
+    "observed_scope_map",
+]

@@ -1,0 +1,44 @@
+"""Shared-secret authentication through the local file system.
+
+    "The library authenticates itself to the starter by presenting a
+    shared secret revealed to it through the local file system.  Thus,
+    the connection is secure to the same degree as the local system."
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.sim.filesystem import FsError, LocalFileSystem
+
+__all__ = ["SECRET_FILENAME", "generate_secret", "place_secret", "read_secret"]
+
+SECRET_FILENAME = "chirp.secret"
+
+
+def generate_secret(seed_material: str) -> str:
+    """Derive a per-execution secret from stable *seed_material*.
+
+    Deterministic on purpose: two runs of the same experiment produce the
+    same secrets, keeping traces comparable.
+    """
+    return hashlib.sha256(("chirp:" + seed_material).encode()).hexdigest()[:32]
+
+
+def place_secret(scratch: LocalFileSystem, scratch_dir: str, secret: str) -> str:
+    """The starter writes the secret into the job's scratch directory."""
+    path = f"{scratch_dir}/{SECRET_FILENAME}"
+    scratch.write_file(path, secret.encode())
+    return path
+
+
+def read_secret(scratch: LocalFileSystem, scratch_dir: str) -> str:
+    """The I/O library reads the secret back; empty string if missing.
+
+    A missing secret is not fatal here -- the proxy will refuse the
+    library with ``AUTH_FAILED``, which is the error path under test.
+    """
+    try:
+        return scratch.read_file(f"{scratch_dir}/{SECRET_FILENAME}").decode()
+    except FsError:
+        return ""

@@ -1,0 +1,254 @@
+"""The job-side I/O library (paper §2.2 and §4).
+
+    "This library presents files using standard Java abstractions..."
+
+Two operating modes reproduce the paper's before/after:
+
+- ``mode="naive"`` -- the §2.3 design: *every* Chirp failure, including
+  machinery errors like ``CREDENTIAL_EXPIRED``, is "blindly converted"
+  into a ``JIOException`` subtype through a *generic* error interface.
+  The program (which does not handle such exceptions) dies with them, and
+  the environmental error becomes a program result.
+- ``mode="scoped"`` -- the §4 fix: the interface is finite
+  (read throws FileNotFound/AccessDenied, write throws
+  DiskFull/AccessDenied); out-of-contract failures are "communicated with
+  an escaping error (a Java Error)" that the wrapper catches and scopes.
+
+Both modes record every error crossing in their
+:class:`~repro.core.interfaces.ErrorInterface`, feeding the principle
+auditor.
+"""
+
+from __future__ import annotations
+
+from repro.chirp.protocol import ChirpCode, ChirpReply, ChirpRequest
+from repro.condor.protocols import WireSize
+from repro.core.classify import DEFAULT_CLASSIFIER
+from repro.core.errors import EscapingError, explicit
+from repro.core.interfaces import ErrorInterface
+from repro.sim.engine import Simulator
+from repro.sim.filesystem import FsError, LocalFileSystem
+from repro.sim.network import (
+    BrokenConnection,
+    ConnectionRefused,
+    ConnectionTimedOut,
+    NetworkError,
+)
+from repro.jvm import throwables as jt
+
+__all__ = ["CondorIoLibrary", "LocalIoLibrary"]
+
+
+#: Chirp code -> the Java exception the naive library raises explicitly.
+_NAIVE_EXCEPTIONS: dict[ChirpCode, type[jt.Throwable]] = {
+    ChirpCode.NOT_FOUND: jt.JFileNotFoundException,
+    ChirpCode.NOT_AUTHORIZED: jt.JAccessDeniedException,
+    ChirpCode.NO_SPACE: jt.JDiskFullException,
+    # The generic-interface sins: machinery errors as IOException subtypes.
+    ChirpCode.TIMED_OUT: jt.JConnectionTimedOutException,
+    ChirpCode.SERVER_DOWN: jt.JConnectionTimedOutException,
+}
+
+
+class _JCredentialExpiredException(jt.JIOException):
+    """The naive library's invented IOException subtype for an expired
+    credential -- 'we simply extended the basic IOException to a new
+    type.  Although this was easy, it was incorrect.' (§4)"""
+
+    java_name = "CredentialExpiredIOException"
+
+
+class _JChirpIOException(jt.JIOException):
+    """Catch-all IOException for remaining machinery codes (naive mode)."""
+
+    java_name = "ChirpIOException"
+
+
+_NAIVE_EXCEPTIONS[ChirpCode.CREDENTIAL_EXPIRED] = _JCredentialExpiredException
+_NAIVE_EXCEPTIONS[ChirpCode.AUTH_FAILED] = _JChirpIOException
+_NAIVE_EXCEPTIONS[ChirpCode.INVALID_REQUEST] = _JChirpIOException
+_NAIVE_EXCEPTIONS[ChirpCode.BAD_FD] = _JChirpIOException
+
+#: Chirp machinery code -> the escaping Java Error the scoped library raises.
+_SCOPED_ERRORS: dict[ChirpCode, type[jt.JError]] = {
+    ChirpCode.TIMED_OUT: jt.JRemoteIoUnavailableError,
+    ChirpCode.SERVER_DOWN: jt.JRemoteIoUnavailableError,
+    ChirpCode.CREDENTIAL_EXPIRED: jt.JCredentialExpiredError,
+    ChirpCode.AUTH_FAILED: jt.JChirpConnectionLostError,
+    ChirpCode.INVALID_REQUEST: jt.JChirpConnectionLostError,
+    ChirpCode.BAD_FD: jt.JChirpConnectionLostError,
+}
+
+#: Chirp in-contract code -> Java exception (both modes).
+_CONTRACT_EXCEPTIONS: dict[ChirpCode, type[jt.Throwable]] = {
+    ChirpCode.NOT_FOUND: jt.JFileNotFoundException,
+    ChirpCode.NOT_AUTHORIZED: jt.JAccessDeniedException,
+    ChirpCode.NO_SPACE: jt.JDiskFullException,
+}
+
+
+def _build_interface(mode: str) -> ErrorInterface:
+    if mode == "naive":
+        iface = ErrorInterface("JavaIO(naive)")
+        documented = {"FileNotFound", "EndOfFile"}
+        iface.operation("read", documented, generic=True)
+        iface.operation("write", documented, generic=True)
+        return iface
+    iface = ErrorInterface("CondorJavaIO")
+    iface.operation("read", {"FileNotFound", "AccessDenied"})
+    iface.operation("write", {"DiskFull", "AccessDenied"})
+    return iface
+
+
+class CondorIoLibrary:
+    """The I/O library linked into the (simulated) user program."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net,
+        proxy_host: str,
+        proxy_port: int,
+        secret: str,
+        mode: str = "scoped",
+        request_timeout: float = 15.0,
+    ):
+        if mode not in ("naive", "scoped"):
+            raise ValueError(f"mode must be 'naive' or 'scoped', not {mode!r}")
+        self.sim = sim
+        self.net = net
+        self.proxy_host = proxy_host
+        self.proxy_port = proxy_port
+        self.secret = secret
+        self.mode = mode
+        self.request_timeout = request_timeout
+        self.interface = _build_interface(mode)
+        self._conn = None
+
+    # -- plumbing ----------------------------------------------------------
+    def _connection(self):
+        if self._conn is None or self._conn.broken:
+            self._conn = yield from self.net.connect(
+                self.proxy_host, self.proxy_host, self.proxy_port, timeout=5.0
+            )
+        return self._conn
+
+    def _exchange(self, request: ChirpRequest):
+        conn = yield from self._connection()
+        conn.send(request, size=WireSize.CONTROL + len(request.data))
+        reply = yield from conn.recv(timeout=self.request_timeout)
+        return reply
+
+    # -- error presentation --------------------------------------------------
+    def _raise_for(self, op: str, code: ChirpCode, path: str):
+        """Present Chirp failure *code* to the program, per the mode."""
+        classification = DEFAULT_CLASSIFIER.classify("chirp", code.value)
+        err = explicit(
+            classification.canonical,
+            classification.scope,
+            detail=path,
+            origin="chirp-client",
+            time=self.sim.now,
+        )
+        if self.mode == "naive":
+            # The generic interface admits anything; raise the matching
+            # IOException subtype as an explicit result.
+            self.interface.vet(op, err, time=self.sim.now)
+            exc_type = _NAIVE_EXCEPTIONS.get(code, _JChirpIOException)
+            raise exc_type(f"{code.value}: {path}")
+        # Scoped mode: vet against the finite interface.  In-contract codes
+        # come back as explicit results; everything else escapes.
+        try:
+            self.interface.vet(op, err, time=self.sim.now)
+        except EscapingError:
+            error_type = _SCOPED_ERRORS.get(code, jt.JChirpConnectionLostError)
+            raise error_type(f"{code.value}: {path}") from None
+        raise _CONTRACT_EXCEPTIONS[code](f"{code.value}: {path}")
+
+    def _transport_failure(self, op: str, path: str, detail: str):
+        """The proxy itself is unreachable (loopback!): machinery failure."""
+        err = explicit(
+            "ChirpConnectionLost",
+            DEFAULT_CLASSIFIER.classify("chirp", "SERVER_DOWN").scope,
+            detail=detail,
+            origin="chirp-client",
+            time=self.sim.now,
+        )
+        if self.mode == "naive":
+            self.interface.vet(op, err, time=self.sim.now)
+            raise jt.JConnectionTimedOutException(detail)
+        try:
+            self.interface.vet(op, err, time=self.sim.now)
+        except EscapingError:
+            raise jt.JChirpConnectionLostError(detail) from None
+        raise AssertionError("transport failures are never in contract")
+
+    # -- the Java-visible API ---------------------------------------------------
+    def read_file(self, path: str):
+        """Generator: read the whole of *path* via the proxy."""
+        try:
+            reply = yield from self._exchange(
+                ChirpRequest(op="read", path=path, secret=self.secret)
+            )
+        except (ConnectionTimedOut, BrokenConnection, ConnectionRefused, NetworkError) as exc:
+            self._transport_failure("read", path, str(exc))
+        if reply.code is ChirpCode.OK:
+            return reply.data
+        self._raise_for("read", reply.code, path)
+
+    def write_file(self, path: str, data: bytes):
+        """Generator: write *data* to *path* via the proxy."""
+        try:
+            reply = yield from self._exchange(
+                ChirpRequest(op="write", path=path, data=data, secret=self.secret)
+            )
+        except (ConnectionTimedOut, BrokenConnection, ConnectionRefused, NetworkError) as exc:
+            self._transport_failure("write", path, str(exc))
+        if reply.code is ChirpCode.OK:
+            return None
+        self._raise_for("write", reply.code, path)
+
+    def close(self) -> None:
+        if self._conn is not None and not self._conn.broken:
+            self._conn.close()
+
+
+class LocalIoLibrary:
+    """Direct scratch-space I/O (vanilla universe, or tests).
+
+    Presents the same generator API as :class:`CondorIoLibrary`, mapping
+    the local file system's explicit errors to the in-contract Java
+    exceptions.
+    """
+
+    def __init__(self, fs: LocalFileSystem, base_dir: str = "/scratch"):
+        self.fs = fs
+        self.base_dir = base_dir
+
+    def _full(self, path: str) -> str:
+        return path if path.startswith("/") else f"{self.base_dir}/{path}"
+
+    def read_file(self, path: str):
+        try:
+            return self.fs.read_file(self._full(path))
+        except FsError as exc:
+            if exc.code == "ENOENT":
+                raise jt.JFileNotFoundException(path) from None
+            if exc.code == "EACCES":
+                raise jt.JAccessDeniedException(path) from None
+            raise jt.JIOException(f"{exc.code}: {path}") from None
+        yield  # pragma: no cover - generator protocol
+
+    def write_file(self, path: str, data: bytes):
+        try:
+            return self.fs.write_file(self._full(path), data)
+        except FsError as exc:
+            if exc.code == "ENOSPC":
+                raise jt.JDiskFullException(path) from None
+            if exc.code == "EACCES":
+                raise jt.JAccessDeniedException(path) from None
+            raise jt.JIOException(f"{exc.code}: {path}") from None
+        yield  # pragma: no cover
+
+    def close(self) -> None:
+        return None

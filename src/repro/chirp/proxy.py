@@ -1,0 +1,131 @@
+"""The starter-side Chirp proxy.
+
+    "The proxy allows the starter to transparently add additional I/O
+    functionality to the job without placing any burden on the user."
+
+The proxy accepts Chirp requests on the loopback interface, checks the
+shared secret, and forwards each operation to the shadow over the remote
+I/O RPC channel.  Its error translation embodies the theory:
+
+- file-system error codes from the shadow pass through as the Chirp codes
+  within the I/O contract (``NOT_FOUND``, ``NOT_AUTHORIZED``,
+  ``NO_SPACE``);
+- transport failures of the RPC channel itself -- which have *process*
+  scope at this layer (§3.3) -- are re-presented as the machinery codes
+  (``SERVER_DOWN``, ``TIMED_OUT``), gaining significance as they travel.
+"""
+
+from __future__ import annotations
+
+from repro.chirp.protocol import ChirpCode, ChirpReply, ChirpRequest
+from repro.condor.protocols import WireSize
+from repro.remoteio.rpc import Credential, RpcClient, RpcRequest
+from repro.sim.engine import Simulator
+from repro.sim.network import (
+    BrokenConnection,
+    ConnectionRefused,
+    ConnectionTimedOut,
+    HostUnreachable,
+    Network,
+)
+
+__all__ = ["ChirpProxy"]
+
+_FS_TO_CHIRP = {
+    "ENOENT": ChirpCode.NOT_FOUND,
+    "EACCES": ChirpCode.NOT_AUTHORIZED,
+    "EISDIR": ChirpCode.NOT_FOUND,
+    "ENOSPC": ChirpCode.NO_SPACE,
+    "EIO": ChirpCode.SERVER_DOWN,  # home file system offline
+    "ETIMEDOUT": ChirpCode.TIMED_OUT,  # soft-mounted home fs timed out
+    "CREDENTIAL_EXPIRED": ChirpCode.CREDENTIAL_EXPIRED,
+    "BAD_CREDENTIAL": ChirpCode.CREDENTIAL_EXPIRED,
+}
+
+
+class ChirpProxy:
+    """One proxy instance per running job, hosted by the starter."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        host: str,
+        port: int,
+        secret: str,
+        shadow_host: str,
+        shadow_port: int,
+        credential: Credential | None = None,
+        rpc_timeout: float = 10.0,
+    ):
+        self.sim = sim
+        self.net = net
+        self.host = host
+        self.port = port
+        self.secret = secret
+        self.shadow_host = shadow_host
+        self.shadow_port = shadow_port
+        self.credential = credential
+        self.rpc_timeout = rpc_timeout
+        self.requests_handled = 0
+        self._rpc: RpcClient | None = None
+        self.listener = net.listen(host, port)
+        self._proc = sim.spawn(self._accept_loop(), name=f"chirp-proxy:{host}:{port}")
+        self._proc.defuse()
+
+    def close(self) -> None:
+        self.listener.close()
+        if self._rpc is not None and not self._rpc.connection.broken:
+            self._rpc.connection.close()
+        self._proc.interrupt("proxy shutdown")
+
+    # -- serving the job-side library ------------------------------------
+    def _accept_loop(self):
+        while True:
+            conn = yield from self.listener.accept()
+            handler = self.sim.spawn(self._serve(conn), name="chirp-serve")
+            handler.defuse()
+
+    def _serve(self, conn):
+        try:
+            while True:
+                request = yield from conn.recv()
+                if not isinstance(request, ChirpRequest):
+                    conn.send(ChirpReply(ChirpCode.INVALID_REQUEST), size=WireSize.CONTROL)
+                    continue
+                reply = yield from self._handle(request)
+                conn.send(reply, size=WireSize.CONTROL + len(reply.data))
+        except BrokenConnection:
+            return
+
+    def _handle(self, request: ChirpRequest):
+        """Generator: authenticate, forward, translate."""
+        self.requests_handled += 1
+        if request.secret != self.secret:
+            return ChirpReply(ChirpCode.AUTH_FAILED)
+        if request.op not in ("read", "write", "stat"):
+            return ChirpReply(ChirpCode.INVALID_REQUEST)
+        op = {"read": "read_file", "write": "write_file", "stat": "stat"}[request.op]
+        rpc_request = RpcRequest(
+            op=op, path=request.path, data=request.data, credential=self.credential
+        )
+        try:
+            rpc = yield from self._shadow_rpc()
+            reply = yield from rpc.call(rpc_request)
+        except (ConnectionTimedOut,) :
+            return ChirpReply(ChirpCode.TIMED_OUT)
+        except (BrokenConnection, ConnectionRefused, HostUnreachable):
+            self._rpc = None  # force a reconnect attempt next time
+            return ChirpReply(ChirpCode.SERVER_DOWN)
+        if reply.ok:
+            return ChirpReply(ChirpCode.OK, data=reply.data)
+        return ChirpReply(_FS_TO_CHIRP.get(reply.error, ChirpCode.SERVER_DOWN))
+
+    def _shadow_rpc(self):
+        """Generator: the (re)connected RPC client to the shadow."""
+        if self._rpc is None or self._rpc.connection.broken:
+            conn = yield from self.net.connect(
+                self.host, self.shadow_host, self.shadow_port, timeout=self.rpc_timeout
+            )
+            self._rpc = RpcClient(conn, timeout=self.rpc_timeout)
+        return self._rpc

@@ -1,0 +1,29 @@
+"""The Condor kernel substrate (paper §2.1, Figure 1).
+
+A protocol-faithful simulation of the core Condor components:
+
+- :mod:`repro.condor.classads` -- the ClassAd matchmaking language;
+- :mod:`repro.condor.job` -- jobs, universes, and the job state machine;
+- :mod:`repro.condor.protocols` -- the typed messages of the matchmaking,
+  claiming, and shadow/starter control protocols;
+- :mod:`repro.condor.daemons` -- schedd, startd, matchmaker, shadow and
+  starter;
+- :mod:`repro.condor.pool` -- pool assembly and simulation drivers;
+- :mod:`repro.condor.userlog` -- the per-job user event log.
+"""
+
+from repro.condor.job import Job, JobState, ProgramImage, Universe
+from repro.condor.pool import Pool, PoolConfig, figure3_chain
+from repro.condor.submit import SubmitError, parse_submit
+
+__all__ = [
+    "Job",
+    "JobState",
+    "Pool",
+    "PoolConfig",
+    "ProgramImage",
+    "SubmitError",
+    "Universe",
+    "figure3_chain",
+    "parse_submit",
+]

@@ -1,0 +1,123 @@
+"""ClassAds and two-party matching.
+
+    "This process collects information about all participants, and
+    notifies schedds and startds of compatible partners." (§2.1)
+
+A :class:`ClassAd` is a case-insensitive mapping from attribute names to
+expressions.  Matching is symmetric: ads A and B match when A's
+``Requirements`` evaluates to TRUE with ``MY = A, TARGET = B`` *and* B's
+``Requirements`` evaluates to TRUE with ``MY = B, TARGET = A``.  ``Rank``
+orders the compatible partners.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.condor.classads.expr import (
+    ClassAdValue,
+    EvalContext,
+    Expr,
+    Literal,
+    ValueType,
+)
+from repro.condor.classads.parser import parse
+
+__all__ = ["ClassAd", "match", "rank", "symmetric_match"]
+
+
+class ClassAd:
+    """A classified advertisement: attribute names mapped to expressions.
+
+    Values assigned via :meth:`__setitem__` may be Python scalars (wrapped
+    as literals) or strings of ClassAd source prefixed appropriately via
+    :meth:`set_expr`.  Attribute names are case-insensitive.
+    """
+
+    def __init__(self, attrs: dict[str, Any] | None = None):
+        self._attrs: dict[str, Expr] = {}
+        if attrs:
+            for key, value in attrs.items():
+                self[key] = value
+
+    # -- mapping interface --------------------------------------------------
+    def __setitem__(self, name: str, value: Any) -> None:
+        """Set attribute *name* to a literal Python value."""
+        if isinstance(value, Expr):
+            self._attrs[name.lower()] = value
+        else:
+            self._attrs[name.lower()] = Literal(ClassAdValue.of(value))
+
+    def set_expr(self, name: str, source: str) -> None:
+        """Set attribute *name* to the parsed ClassAd expression *source*."""
+        self._attrs[name.lower()] = parse(source)
+
+    def lookup(self, name: str) -> Expr | None:
+        """The raw expression bound to *name*, or None."""
+        return self._attrs.get(name.lower())
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._attrs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attrs)
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    # -- evaluation -----------------------------------------------------------
+    def eval(self, name: str, target: "ClassAd | None" = None) -> ClassAdValue:
+        """Evaluate attribute *name* against optional *target*."""
+        expr = self.lookup(name)
+        if expr is None:
+            from repro.condor.classads.expr import V_UNDEFINED
+
+            return V_UNDEFINED
+        return expr.eval(EvalContext(my=self, target=target))
+
+    def value(self, name: str, default: Any = None, target: "ClassAd | None" = None) -> Any:
+        """Evaluate *name* and return the Python payload (or *default*)."""
+        val = self.eval(name, target)
+        if val.is_exceptional:
+            return default
+        return val.as_python()
+
+    # -- conveniences ------------------------------------------------------
+    def copy(self) -> "ClassAd":
+        ad = ClassAd()
+        ad._attrs = dict(self._attrs)
+        return ad
+
+    def update(self, other: "ClassAd") -> None:
+        self._attrs.update(other._attrs)
+
+    def render(self) -> str:
+        """ClassAd source form, one ``name = expr;`` per line."""
+        lines = [f"{name} = {expr};" for name, expr in sorted(self._attrs.items())]
+        return "[\n  " + "\n  ".join(lines) + "\n]" if lines else "[ ]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClassAd {sorted(self._attrs)}>"
+
+
+def match(ad: ClassAd, target: ClassAd) -> bool:
+    """One-directional match: does *ad*'s Requirements accept *target*?
+
+    A missing or non-TRUE (UNDEFINED, ERROR, FALSE) Requirements rejects
+    -- conservative, like the real matchmaker.
+    """
+    val = ad.eval("requirements", target=target).as_bool()
+    return val.type is ValueType.BOOLEAN and bool(val.payload)
+
+
+def symmetric_match(a: ClassAd, b: ClassAd) -> bool:
+    """True when both parties' Requirements accept each other (§2.1)."""
+    return match(a, b) and match(b, a)
+
+
+def rank(ad: ClassAd, target: ClassAd) -> float:
+    """*ad*'s Rank of *target*; non-numeric or missing Rank counts as 0."""
+    val = ad.eval("rank", target=target)
+    if val.is_number:
+        return float(val.payload)
+    return 0.0

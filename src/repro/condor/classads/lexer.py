@@ -1,0 +1,114 @@
+"""Tokenizer for ClassAd expressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LexError", "Token", "tokenize"]
+
+
+class LexError(Exception):
+    """Malformed ClassAd source text."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # INT REAL STRING NAME OP LPAREN RPAREN COMMA DOT EOF
+    text: str
+    pos: int
+
+
+_TWO_CHAR_OPS = {"==", "!=", "<=", ">=", "&&", "||"}
+_THREE_CHAR_OPS = {"=?=", "=!="}
+_ONE_CHAR_OPS = set("+-*/%<>!")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split *source* into tokens; raises :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "(":
+            tokens.append(Token("LPAREN", ch, i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token("RPAREN", ch, i))
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(Token("COMMA", ch, i))
+            i += 1
+            continue
+        if ch == ".":
+            tokens.append(Token("DOT", ch, i))
+            i += 1
+            continue
+        if ch == '"':
+            j = i + 1
+            buf = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\" and j + 1 < n:
+                    buf.append(source[j + 1])
+                    j += 2
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise LexError(f"unterminated string at {i}")
+            tokens.append(Token("STRING", "".join(buf), i))
+            i = j + 1
+            continue
+        if source[i : i + 3] in _THREE_CHAR_OPS:
+            tokens.append(Token("OP", source[i : i + 3], i))
+            i += 3
+            continue
+        if source[i : i + 2] in _TWO_CHAR_OPS:
+            tokens.append(Token("OP", source[i : i + 2], i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("OP", ch, i))
+            i += 1
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = source[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp and j + 1 < n and source[j + 1].isdigit():
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    nxt = source[j + 1 : j + 2]
+                    if nxt.isdigit() or (
+                        nxt in "+-" and source[j + 2 : j + 3].isdigit()
+                    ):
+                        seen_exp = True
+                        j += 2 if nxt in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            text = source[i:j]
+            kind = "REAL" if (seen_dot or seen_exp) else "INT"
+            tokens.append(Token(kind, text, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            tokens.append(Token("NAME", source[i:j], i))
+            i = j
+            continue
+        raise LexError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens

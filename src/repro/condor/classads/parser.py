@@ -1,0 +1,172 @@
+"""Recursive-descent parser for ClassAd expressions.
+
+Precedence, loosest to tightest::
+
+    ||
+    &&
+    == != < <= > >= =?= =!=
+    + -
+    * / %
+    unary - + !
+    atoms: literals, names, MY.x, TARGET.x, f(args), ( expr )
+"""
+
+from __future__ import annotations
+
+from repro.condor.classads.expr import (
+    AttrRef,
+    BinOp,
+    ClassAdValue,
+    Expr,
+    FuncCall,
+    Literal,
+    UnaryOp,
+    V_ERROR,
+    V_FALSE,
+    V_TRUE,
+    V_UNDEFINED,
+)
+from repro.condor.classads.lexer import Token, tokenize
+
+__all__ = ["ParseError", "parse"]
+
+_KEYWORD_LITERALS = {
+    "true": Literal(V_TRUE),
+    "false": Literal(V_FALSE),
+    "undefined": Literal(V_UNDEFINED),
+    "error": Literal(V_ERROR),
+}
+
+_QUALIFIERS = {"my", "target", "other"}
+
+
+class ParseError(Exception):
+    """Structurally invalid ClassAd expression."""
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        tok = self.peek()
+        if tok.kind != kind:
+            raise ParseError(f"expected {kind} at {tok.pos}, found {tok.kind} {tok.text!r}")
+        return self.advance()
+
+    def match_op(self, *ops: str) -> Token | None:
+        tok = self.peek()
+        if tok.kind == "OP" and tok.text in ops:
+            return self.advance()
+        return None
+
+    # -- grammar ---------------------------------------------------------
+    def parse_expression(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        node = self.parse_and()
+        while self.match_op("||"):
+            node = BinOp("||", node, self.parse_and())
+        return node
+
+    def parse_and(self) -> Expr:
+        node = self.parse_comparison()
+        while self.match_op("&&"):
+            node = BinOp("&&", node, self.parse_comparison())
+        return node
+
+    def parse_comparison(self) -> Expr:
+        node = self.parse_additive()
+        while True:
+            tok = self.match_op("==", "!=", "<=", ">=", "<", ">", "=?=", "=!=")
+            if tok is None:
+                return node
+            node = BinOp(tok.text, node, self.parse_additive())
+
+    def parse_additive(self) -> Expr:
+        node = self.parse_multiplicative()
+        while True:
+            tok = self.match_op("+", "-")
+            if tok is None:
+                return node
+            node = BinOp(tok.text, node, self.parse_multiplicative())
+
+    def parse_multiplicative(self) -> Expr:
+        node = self.parse_unary()
+        while True:
+            tok = self.match_op("*", "/", "%")
+            if tok is None:
+                return node
+            node = BinOp(tok.text, node, self.parse_unary())
+
+    def parse_unary(self) -> Expr:
+        tok = self.match_op("-", "+", "!")
+        if tok is not None:
+            return UnaryOp(tok.text, self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "INT":
+            self.advance()
+            return Literal(ClassAdValue.of(int(tok.text)))
+        if tok.kind == "REAL":
+            self.advance()
+            return Literal(ClassAdValue.of(float(tok.text)))
+        if tok.kind == "STRING":
+            self.advance()
+            return Literal(ClassAdValue.of(tok.text))
+        if tok.kind == "LPAREN":
+            self.advance()
+            node = self.parse_expression()
+            self.expect("RPAREN")
+            return node
+        if tok.kind == "NAME":
+            return self.parse_name()
+        raise ParseError(f"unexpected token {tok.kind} {tok.text!r} at {tok.pos}")
+
+    def parse_name(self) -> Expr:
+        tok = self.expect("NAME")
+        lowered = tok.text.lower()
+        if lowered in _KEYWORD_LITERALS:
+            return _KEYWORD_LITERALS[lowered]
+        # MY.attr / TARGET.attr / OTHER.attr
+        if lowered in _QUALIFIERS and self.peek().kind == "DOT":
+            self.advance()  # the dot
+            attr = self.expect("NAME")
+            qualifier = "target" if lowered == "other" else lowered
+            return AttrRef(attr.text.lower(), qualifier)
+        # function call
+        if self.peek().kind == "LPAREN":
+            self.advance()
+            args: list[Expr] = []
+            if self.peek().kind != "RPAREN":
+                args.append(self.parse_expression())
+                while self.peek().kind == "COMMA":
+                    self.advance()
+                    args.append(self.parse_expression())
+            self.expect("RPAREN")
+            return FuncCall(lowered, tuple(args))
+        return AttrRef(lowered)
+
+
+def parse(source: str) -> Expr:
+    """Parse ClassAd expression *source* into an :class:`Expr`.
+
+    Raises :class:`ParseError` (or :class:`~repro.condor.classads.lexer.LexError`)
+    on malformed input.
+    """
+    parser = _Parser(tokenize(source))
+    node = parser.parse_expression()
+    parser.expect("EOF")
+    return node

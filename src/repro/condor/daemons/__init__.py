@@ -1,0 +1,24 @@
+"""The Condor kernel daemons (Figure 1).
+
+Each daemon is a simulated process that "represents the interests" of one
+participant: the schedd for the job owner, the startd for the machine
+owner, the matchmaker for the pool, and the per-job shadow and starter
+for the two sides of one execution.
+"""
+
+from repro.condor.daemons.config import CondorConfig
+from repro.condor.daemons.matchmaker import Matchmaker
+from repro.condor.daemons.schedd import Schedd
+from repro.condor.daemons.shadow import Shadow, ShadowOutcome
+from repro.condor.daemons.startd import Startd
+from repro.condor.daemons.starter import Starter
+
+__all__ = [
+    "CondorConfig",
+    "Matchmaker",
+    "Schedd",
+    "Shadow",
+    "ShadowOutcome",
+    "Startd",
+    "Starter",
+]

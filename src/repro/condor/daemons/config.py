@@ -1,0 +1,64 @@
+"""Pool-wide configuration knobs.
+
+``error_mode`` selects the paper's before/after:
+
+- ``"naive"`` -- §2.3: bare JVM (exit codes only), generic I/O interface,
+  every component failure returned to the user;
+- ``"scoped"`` -- §4: wrapper + result file, finite I/O interface with
+  escaping errors, schedd scope policy (retry in-between scopes).
+
+``startd_self_test`` and ``schedd_avoidance`` are the two §5 defenses
+against black-hole machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CondorConfig"]
+
+
+@dataclass
+class CondorConfig:
+    error_mode: str = "scoped"  # "naive" | "scoped"
+    #: Matchmaker fair share: negotiate for the user with the least
+    #: recent usage first (usage halves each cycle, like Condor's
+    #: effective user priority).  Off = pure submission order.
+    fair_share: bool = True
+    usage_decay: float = 0.5
+    #: Rank-based preemption: a claimed slot may be handed to a job the
+    #: machine's Rank expression prefers; the incumbent is evicted
+    #: (checkpointing softens the blow, §2.1).
+    preemption: bool = False
+    startd_self_test: bool = False
+    #: re-run the self-test this often (0 = startup only), so machines
+    #: that break *after* boot also stop advertising
+    self_test_interval: float = 0.0
+    schedd_avoidance: bool = False
+    #: consecutive environmental failures at one site before the schedd
+    #: avoids it (only with schedd_avoidance)
+    avoidance_threshold: int = 2
+    #: give up and hold a job after this many environmental retries
+    max_retries: int = 20
+    # daemon cadences (simulated seconds)
+    advertise_interval: float = 30.0
+    negotiation_interval: float = 15.0
+    ad_lifetime: float = 90.0
+    # timeouts
+    claim_timeout: float = 10.0
+    control_timeout: float = 60.0
+    rpc_timeout: float = 10.0
+    io_request_timeout: float = 20.0
+    # file transfer
+    transfer_chunk: int = 4096
+    # Standard Universe checkpointing (§2.1: "transparent checkpointing")
+    checkpointing: bool = True
+    checkpoint_every_steps: int = 1
+    #: When not None, every starter appends its I/O library's
+    #: ErrorInterface here, so the principle auditor can inspect the
+    #: crossings after a run (P2/P4).
+    interface_registry: list | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.error_mode not in ("naive", "scoped"):
+            raise ValueError(f"error_mode must be 'naive' or 'scoped', not {self.error_mode!r}")

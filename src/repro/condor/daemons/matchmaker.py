@@ -1,0 +1,189 @@
+"""The matchmaker (central manager).
+
+    "This process collects information about all participants, and
+    notifies schedds and startds of compatible partners.  Matched
+    processes are individually responsible for communicating with each
+    other and verifying that their needs are met." (§2.1)
+
+The matchmaker never sees job data or error detail -- it deals only in
+ClassAds, which is why matchmaking survives every failure mode in this
+reproduction: a broken execution site simply stops advertising (or keeps
+advertising and becomes a black hole, §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.condor.classads import ClassAd, rank, symmetric_match
+from repro.condor.daemons.config import CondorConfig
+from repro.condor.protocols import Advertise, MatchNotify, WireSize
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkError
+
+__all__ = ["Matchmaker"]
+
+
+@dataclass
+class _StoredAd:
+    name: str
+    ad: ClassAd
+    received: float
+    reply_host: str = ""
+    reply_port: int = 0
+
+
+class Matchmaker:
+    """Collects ads and runs periodic negotiation cycles."""
+
+    PORT = 9618
+
+    def __init__(self, sim: Simulator, net: Network, host: str, config: CondorConfig):
+        self.sim = sim
+        self.net = net
+        self.host = host
+        self.config = config
+        self.machine_ads: dict[str, _StoredAd] = {}
+        self.job_ads: dict[str, _StoredAd] = {}
+        self.matches_made = 0
+        self.cycles_run = 0
+        self._recently_matched: dict[str, float] = {}  # startd name -> time
+        #: Decayed per-owner usage: the fair-share "effective user
+        #: priority" (larger = worse priority, negotiated later).
+        self.owner_usage: dict[str, float] = {}
+        self.listener = net.listen(host, self.PORT)
+        self._accept_proc = sim.spawn(self._accept_loop(), name="matchmaker-accept")
+        self._accept_proc.defuse()
+        self._cycle_proc = sim.spawn(self._negotiation_loop(), name="matchmaker-cycle")
+        self._cycle_proc.defuse()
+
+    # -- collection ----------------------------------------------------------
+    def _accept_loop(self):
+        while True:
+            conn = yield from self.listener.accept()
+            handler = self.sim.spawn(self._collect(conn), name="matchmaker-collect")
+            handler.defuse()
+
+    def _collect(self, conn):
+        # A single connection may carry several ads (an SMP startd sends
+        # one per slot); read until the sender closes.
+        try:
+            while True:
+                message = yield from conn.recv(timeout=self.config.claim_timeout)
+                if not isinstance(message, Advertise):
+                    continue
+                stored = _StoredAd(
+                    name=message.name,
+                    ad=message.ad,
+                    received=self.sim.now,
+                    reply_host=str(message.ad.value("scheddhost", "")),
+                    reply_port=int(message.ad.value("scheddport", 0) or 0),
+                )
+                if message.kind == "machine":
+                    self.machine_ads[message.name] = stored
+                elif message.kind == "job":
+                    self.job_ads[message.name] = stored
+        except NetworkError:
+            return
+
+    def _expire(self) -> None:
+        horizon = self.sim.now - self.config.ad_lifetime
+        for table in (self.machine_ads, self.job_ads):
+            stale = [name for name, stored in table.items() if stored.received < horizon]
+            for name in stale:
+                del table[name]
+
+    # -- negotiation ---------------------------------------------------------
+    def _negotiation_loop(self):
+        while True:
+            yield self.sim.timeout(self.config.negotiation_interval)
+            yield from self.run_cycle()
+
+    def run_cycle(self):
+        """Generator: one negotiation cycle over all current ads."""
+        self.cycles_run += 1
+        self._expire()
+        for owner in list(self.owner_usage):
+            self.owner_usage[owner] *= self.config.usage_decay
+        # Fair share: least-used owner negotiates first; within an owner,
+        # submission order.  Without fair share, pure insertion order --
+        # both deterministic.
+        entries = list(self.job_ads.items())
+        if self.config.fair_share:
+            arrival = {name: i for i, (name, _) in enumerate(entries)}
+            entries.sort(
+                key=lambda item: (
+                    self.owner_usage.get(self._owner_of(item[1]), 0.0),
+                    arrival[item[0]],
+                )
+            )
+        for job_name, job_stored in entries:
+            best = self._best_machine(job_stored.ad)
+            if best is None:
+                continue
+            machine_name = str(best.ad.value("machine", best.name))
+            notify = MatchNotify(
+                job_id=str(job_stored.ad.value("jobid", job_name)),
+                # The slot is an execution-site detail; the schedd's view
+                # of "the site" (avoidance, attempt history) is the machine.
+                startd_name=machine_name,
+                startd_host=machine_name,
+                startd_port=int(best.ad.value("startdport", 0) or 0),
+                machine_ad=best.ad,
+            )
+            delivered = yield from self._notify_schedd(job_stored, notify)
+            if delivered:
+                self.matches_made += 1
+                owner = self._owner_of(job_stored)
+                self.owner_usage[owner] = self.owner_usage.get(owner, 0.0) + 1.0
+                # One claim per machine per cycle; the startd re-advertises
+                # its new state when claimed.
+                self._recently_matched[best.name] = self.sim.now
+                del self.job_ads[job_name]
+
+    @staticmethod
+    def _owner_of(stored: _StoredAd) -> str:
+        return str(stored.ad.value("owner", "unknown"))
+
+    def _best_machine(self, job_ad: ClassAd) -> _StoredAd | None:
+        candidates = []
+        for stored in self.machine_ads.values():
+            if stored.ad.value("state", "unclaimed") != "unclaimed":
+                if not self.config.preemption:
+                    continue
+                # Preemption: a claimed slot is still a candidate when the
+                # machine's Rank strictly prefers this job to its current one.
+                current = float(stored.ad.value("currentrank", 0.0) or 0.0)
+                if rank(stored.ad, job_ad) <= current:
+                    continue
+            if self._recently_matched.get(stored.name, -1.0) >= stored.received:
+                continue  # matched since it last advertised
+            if symmetric_match(job_ad, stored.ad):
+                candidates.append(stored)
+        if not candidates:
+            return None
+        # Highest job rank first; ties go to the least-recently-matched
+        # machine (spreads retries across the pool), then name for
+        # determinism.
+        candidates.sort(
+            key=lambda s: (
+                -rank(job_ad, s.ad),
+                self._recently_matched.get(s.name, -1.0),
+                s.name,
+            )
+        )
+        return candidates[0]
+
+    def _notify_schedd(self, job_stored: _StoredAd, notify: MatchNotify):
+        if not job_stored.reply_host:
+            return False
+        try:
+            conn = yield from self.net.connect(
+                self.host, job_stored.reply_host, job_stored.reply_port,
+                timeout=self.config.claim_timeout,
+            )
+            conn.send(notify, size=WireSize.AD)
+            conn.close()
+            return True
+        except NetworkError:
+            return False

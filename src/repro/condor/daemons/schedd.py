@@ -1,0 +1,300 @@
+"""The schedd: the job owner's representative and the last line of defense.
+
+    "The last line of defense is the schedd.  If it detects an error of
+    program scope, it identifies the job as complete and returns it to the
+    user.  If it detects an error of job scope, it identifies the job as
+    unexecutable and also returns it to the user.  Anything in between
+    causes it to log the error and then attempt to execute the program at
+    a new site." (§4)
+
+``error_mode="naive"`` reproduces §2.3 instead: every outcome -- including
+claim losses and starter-detected environmental errors -- is returned to
+the user, who must perform the postmortem.
+
+With ``schedd_avoidance`` enabled, the schedd implements §5's
+complementary defense: "enhance the schedd with logic to detect and avoid
+hosts with chronic failures."
+"""
+
+from __future__ import annotations
+
+from repro.condor.classads import ClassAd
+from repro.condor.daemons.config import CondorConfig
+from repro.condor.daemons.shadow import Shadow, ShadowOutcome
+from repro.condor.job import ExecutionAttempt, Job, JobState, Universe
+from repro.condor.protocols import (
+    Advertise,
+    ClaimGranted,
+    MatchNotify,
+    RequestClaim,
+    WireSize,
+)
+from repro.condor.userlog import UserLog, UserLogEventType
+from repro.core.errors import explicit
+from repro.core.propagation import ManagementChain
+from repro.core.scope import ErrorScope
+from repro.remoteio.rpc import Credential
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkError
+
+__all__ = ["Schedd"]
+
+
+class Schedd:
+    """One schedd per submit machine."""
+
+    PORT = 9615
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        submit_host: str,
+        home_fs,  # generator-API backend for shadows' I/O servers
+        matchmaker_host: str,
+        config: CondorConfig,
+        chain: ManagementChain | None = None,
+        credential_factory=None,
+    ):
+        self.sim = sim
+        self.net = net
+        self.submit_host = submit_host
+        self.home_fs = home_fs
+        self.matchmaker_host = matchmaker_host
+        self.config = config
+        self.chain = chain
+        self.credential_factory = credential_factory or (
+            lambda job: Credential(owner=job.owner)
+        )
+        self.jobs: dict[str, Job] = {}
+        self.userlog = UserLog()
+        self.site_failures: dict[str, int] = {}
+        self.avoided_sites: set[str] = set()
+        self.shadows_spawned = 0
+        self.listener = net.listen(submit_host, self.PORT)
+        self._accept_proc = sim.spawn(self._accept_loop(), name=f"schedd:{submit_host}")
+        self._accept_proc.defuse()
+        self._advertise_proc = sim.spawn(
+            self._advertise_loop(), name=f"schedd-ads:{submit_host}"
+        )
+        self._advertise_proc.defuse()
+
+    # -- submission -----------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Accept *job* into the queue (persistent storage, per §2.1)."""
+        if job.job_id in self.jobs:
+            raise ValueError(f"duplicate job id {job.job_id}")
+        job.submitted_at = self.sim.now
+        job.set_state(JobState.IDLE)
+        self.jobs[job.job_id] = job
+        self.userlog.log(self.sim.now, job.job_id, UserLogEventType.SUBMIT)
+        prompt = self.sim.spawn(self._advertise_jobs(), name="schedd-advert-on-submit")
+        prompt.defuse()
+
+    # -- advertising ---------------------------------------------------------
+    def _advertise_loop(self):
+        while True:
+            yield from self._advertise_jobs()
+            yield self.sim.timeout(self.config.advertise_interval)
+
+    def _advertise_jobs(self):
+        for job in list(self.jobs.values()):
+            if job.state is not JobState.IDLE:
+                continue
+            ad = self._job_ad(job)
+            try:
+                conn = yield from self.net.connect(
+                    self.submit_host, self.matchmaker_host, 9618,
+                    timeout=self.config.claim_timeout,
+                )
+                conn.send(
+                    Advertise(kind="job", name=f"{self.submit_host}#{job.job_id}", ad=ad),
+                    size=WireSize.AD,
+                )
+                conn.close()
+            except NetworkError:
+                return  # matchmaker unreachable: retry next interval
+
+    def _job_ad(self, job: Job) -> ClassAd:
+        ad = job.to_classad()
+        ad["scheddhost"] = self.submit_host
+        ad["scheddport"] = self.PORT
+        requirements = f"({job.requirements})"
+        if job.universe is Universe.JAVA:
+            # "The user simply specifies the Java Universe, and does not
+            # need to know the local details." -- the schedd adds the
+            # capability requirement on the user's behalf.
+            requirements += " && (TARGET.hasjava == TRUE)"
+        for site in sorted(self.avoided_sites):
+            requirements += f' && (TARGET.machine =!= "{site}")'
+        ad.set_expr("requirements", requirements)
+        return ad
+
+    # -- match handling --------------------------------------------------------
+    def _accept_loop(self):
+        while True:
+            conn = yield from self.listener.accept()
+            handler = self.sim.spawn(self._receive(conn), name="schedd-recv")
+            handler.defuse()
+
+    def _receive(self, conn):
+        try:
+            message = yield from conn.recv(timeout=self.config.claim_timeout)
+        except NetworkError:
+            return
+        finally:
+            conn.close()
+        if isinstance(message, MatchNotify):
+            job = self.jobs.get(message.job_id)
+            if job is None or job.state is not JobState.IDLE:
+                return
+            if message.startd_name in self.avoided_sites:
+                return  # leave the job idle; it will be re-advertised
+            job.set_state(JobState.MATCHED)
+            runner = self.sim.spawn(
+                self._claim_and_run(job, message), name=f"run:{job.job_id}"
+            )
+            runner.defuse()
+
+    def _claim_and_run(self, job: Job, match: MatchNotify):
+        granted = yield from self._request_claim(job, match)
+        if granted is None:
+            job.set_state(JobState.IDLE)
+            return
+        shadow = Shadow(
+            sim=self.sim,
+            net=self.net,
+            submit_host=self.submit_host,
+            home_fs=self.home_fs,
+            job=job,
+            exec_host=match.startd_host,
+            starter_port=granted.starter_port,
+            config=self.config,
+            credential=self.credential_factory(job),
+        )
+        self.shadows_spawned += 1
+        job.set_state(JobState.RUNNING)
+        self.userlog.log(
+            self.sim.now, job.job_id, UserLogEventType.EXECUTE, match.startd_name
+        )
+        attempt = ExecutionAttempt(site=match.startd_name, started=self.sim.now)
+        job.attempts.append(attempt)
+        shadow_proc = self.sim.spawn(shadow.run(), name=f"shadow:{job.job_id}")
+        shadow_proc.defuse()
+        yield shadow_proc
+        attempt.ended = self.sim.now
+        outcome = shadow.outcome
+        if outcome is None:  # the shadow process itself died
+            outcome = ShadowOutcome.environment(
+                ErrorScope.LOCAL_RESOURCE, "ShadowDied", "shadow process failed"
+            )
+        self._dispose(job, attempt, outcome)
+
+    def _request_claim(self, job: Job, match: MatchNotify):
+        try:
+            conn = yield from self.net.connect(
+                self.submit_host, match.startd_host, match.startd_port,
+                timeout=self.config.claim_timeout,
+            )
+            conn.send(
+                RequestClaim(
+                    schedd_name=self.submit_host,
+                    job_id=job.job_id,
+                    job_ad=self._job_ad(job),
+                ),
+                size=WireSize.AD,
+            )
+            reply = yield from conn.recv(timeout=self.config.claim_timeout)
+            conn.close()
+        except NetworkError:
+            return None
+        return reply if isinstance(reply, ClaimGranted) else None
+
+    # -- the last line of defense ---------------------------------------------
+    def _dispose(self, job: Job, attempt: ExecutionAttempt, outcome: ShadowOutcome) -> None:
+        if outcome.kind == "result":
+            attempt.result = outcome.result
+            self._complete(job, outcome)
+            return
+        assert outcome.scope is not None
+        attempt.error_scope = outcome.scope
+        attempt.error_name = outcome.error_name
+        self._record_propagation(job, attempt, outcome)
+        if self.config.error_mode == "naive":
+            # §2.3: "nearly any failure in a component of the system would
+            # cause the job to be returned to the user with an error
+            # message."
+            self._hold(job, f"error: {outcome.error_name}: {outcome.detail}")
+            return
+        self._note_site_failure(attempt.site)
+        if outcome.scope >= ErrorScope.JOB:
+            self._hold(job, f"unexecutable: {outcome.error_name}: {outcome.detail}")
+            return
+        # In-between scope: log and retry at a new site.
+        self.userlog.log(
+            self.sim.now,
+            job.job_id,
+            UserLogEventType.SITE_FAILED,
+            f"{attempt.site}: {outcome.error_name} ({outcome.scope})",
+        )
+        env_failures = sum(
+            1
+            for a in job.attempts
+            if a.error_scope is not None and not a.error_scope.within_program_contract
+        )
+        if env_failures > self.config.max_retries:
+            self._hold(job, f"too many retries ({env_failures})")
+            return
+        job.set_state(JobState.IDLE)
+
+    def _complete(self, job: Job, outcome: ShadowOutcome) -> None:
+        job.final_result = outcome.result
+        job.set_state(JobState.COMPLETED)
+        self.userlog.log(
+            self.sim.now, job.job_id, UserLogEventType.TERMINATED, str(outcome.result)
+        )
+
+    def _hold(self, job: Job, reason: str) -> None:
+        job.hold_reason = reason
+        job.set_state(JobState.HELD)
+        self.userlog.log(self.sim.now, job.job_id, UserLogEventType.HELD, reason)
+
+    def _note_site_failure(self, site: str) -> None:
+        self.site_failures[site] = self.site_failures.get(site, 0) + 1
+        if (
+            self.config.schedd_avoidance
+            and self.site_failures[site] >= self.config.avoidance_threshold
+        ):
+            self.avoided_sites.add(site)
+
+    def _record_propagation(self, job: Job, attempt: ExecutionAttempt, outcome: ShadowOutcome) -> None:
+        if self.chain is None:
+            return
+        err = explicit(
+            outcome.error_name,
+            outcome.scope,
+            detail=f"{job.job_id}@{attempt.site}",
+            origin=outcome.scope.managing_program,
+            time=self.sim.now,
+        )
+        if self.config.error_mode == "naive":
+            # The naive system hands the raw error to the user regardless
+            # of scope: a Principle-3 misdelivery, on the record.
+            self.chain.misdeliver(err, consumed_by="user", time=self.sim.now)
+        else:
+            discoverer = {
+                ErrorScope.VIRTUAL_MACHINE: "wrapper",
+                ErrorScope.PROGRAM: "wrapper",
+                ErrorScope.REMOTE_RESOURCE: "starter",
+                ErrorScope.LOCAL_RESOURCE: "starter",
+                ErrorScope.JOB: "wrapper",
+            }.get(outcome.scope, "starter")
+            self.chain.propagate(err, discovered_by=discoverer, time=self.sim.now)
+
+    # -- introspection -----------------------------------------------------------
+    def idle_jobs(self) -> list[Job]:
+        return [j for j in self.jobs.values() if j.state is JobState.IDLE]
+
+    def all_terminal(self) -> bool:
+        """True once every submitted job has reached a terminal state."""
+        return all(j.is_terminal for j in self.jobs.values())

@@ -1,0 +1,303 @@
+"""The startd: the machine owner's representative.
+
+    "Each execution site is managed by a startd that enforces the machine
+    owner's policy regarding when and how visiting jobs may be executed."
+    (§2.1)
+
+Implements the §5 defense: with ``startd_self_test`` enabled, the startd
+probes the owner's asserted Java installation at startup, Autoconf-style,
+and "if found lacking, then the startd simply declines to advertise its
+Java capability" -- turning a black-hole machine into a harmless one.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.condor.classads import ClassAd, match, rank
+from repro.condor.daemons.config import CondorConfig
+from repro.condor.daemons.starter import Starter
+from repro.condor.protocols import (
+    Advertise,
+    ClaimGranted,
+    ClaimRejected,
+    RequestClaim,
+    WireSize,
+)
+from repro.jvm.machine import Jvm, JvmExecError
+from repro.jvm.throwables import Throwable
+from repro.sim.engine import Simulator
+from repro.sim.machine import Machine
+from repro.sim.network import Network, NetworkError
+
+__all__ = ["Startd"]
+
+_claim_counter = itertools.count(1)
+_starter_ports = itertools.count(30001)
+
+
+class Startd:
+    """One startd per execution machine."""
+
+    PORT = 9700
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        machine: Machine,
+        matchmaker_host: str,
+        config: CondorConfig,
+    ):
+        self.sim = sim
+        self.net = net
+        self.machine = machine
+        self.matchmaker_host = matchmaker_host
+        self.config = config
+        #: slot id -> claiming schedd (None = unclaimed); one slot per
+        #: machine unless the owner configured an SMP (machine.slots > 1)
+        self.slot_claimed: dict[int, str | None] = {
+            i: None for i in range(machine.slots)
+        }
+        self.slot_starters: dict[int, Starter | None] = {
+            i: None for i in range(machine.slots)
+        }
+        #: The machine's Rank of each slot's current job (preemption).
+        self.slot_rank: dict[int, float] = {i: 0.0 for i in range(machine.slots)}
+        self.java_advertised = True
+        self.self_test_result: bool | None = None
+        self.ads_sent = 0
+        self.claims_granted = 0
+        self.claims_rejected = 0
+        if config.startd_self_test:
+            self.java_advertised = self._self_test()
+        self.listener = net.listen(machine.name, self.PORT)
+        self._accept_proc = sim.spawn(self._accept_loop(), name=f"startd:{machine.name}")
+        self._accept_proc.defuse()
+        self._advertise_proc = sim.spawn(
+            self._advertise_loop(), name=f"startd-ads:{machine.name}"
+        )
+        self._advertise_proc.defuse()
+        if config.startd_self_test and config.self_test_interval > 0:
+            self._retest_proc = sim.spawn(
+                self._self_test_loop(), name=f"startd-retest:{machine.name}"
+            )
+            self._retest_proc.defuse()
+
+    def _self_test_loop(self):
+        """Periodic re-probe: catches installations that break after boot
+        (and re-admits repaired ones)."""
+        while True:
+            yield self.sim.timeout(self.config.self_test_interval)
+            if not self.machine.online:
+                continue
+            was = self.java_advertised
+            self.java_advertised = self._self_test()
+            if self.java_advertised != was:
+                yield from self.advertise()
+
+    # -- the §5 Autoconf-style probe ----------------------------------------
+    def _self_test(self) -> bool:
+        """Run a trivial program through the local JVM configuration.
+
+        "Rather than blindly accept each owner's assertion regarding the
+        Java installation, we modified the startd to test the installation
+        at startup."
+        """
+        jvm = Jvm(self.sim, self.machine)
+        try:
+            jvm.check_exec()
+        except JvmExecError:
+            self.self_test_result = False
+            return False
+        # Probe the classpath the way 'java -version' would: boot the VM.
+        gen = jvm._boot(heap_request=1 * 2**20)
+        try:
+            while True:
+                next(gen)
+        except StopIteration:
+            jvm._shutdown()
+            self.self_test_result = True
+            return True
+        except Throwable:
+            self.self_test_result = False
+            return False
+
+    # -- introspection --------------------------------------------------
+    @property
+    def claimed_by(self) -> str | None:
+        """The first claiming schedd, if any slot is claimed (legacy view)."""
+        for schedd in self.slot_claimed.values():
+            if schedd is not None:
+                return schedd
+        return None
+
+    @property
+    def current_starter(self) -> Starter | None:
+        for starter in self.slot_starters.values():
+            if starter is not None:
+                return starter
+        return None
+
+    def free_slots(self) -> list[int]:
+        return [i for i, by in self.slot_claimed.items() if by is None]
+
+    def _slot_name(self, slot: int) -> str:
+        if self.machine.slots == 1:
+            return self.machine.name
+        return f"slot{slot + 1}@{self.machine.name}"
+
+    # -- advertising --------------------------------------------------------
+    def build_ad(self, slot: int = 0) -> ClassAd:
+        """The ad for one slot (an SMP advertises one ad per slot)."""
+        ad = ClassAd(
+            {
+                "name": self._slot_name(slot),
+                "machine": self.machine.name,
+                "slotid": slot + 1,
+                "startdport": self.PORT,
+                "arch": "intel",
+                "opsys": "linux",
+                "memory": self.machine.memory_total // self.machine.slots // 2**20,
+                "disk": self.machine.scratch.free // 2**20,
+                "cpuspeed": self.machine.cpu_speed,
+                "state": "claimed" if self.slot_claimed[slot] else "unclaimed",
+                "currentrank": self.slot_rank[slot],
+                "hasjava": self.java_advertised,
+                "javaversion": self.machine.java.version,
+            }
+        )
+        ad.update(ClassAd(self.machine.policy.advertised_attrs))
+        requirements = self.machine.policy.start_expr
+        ad.set_expr("requirements", requirements)
+        ad.set_expr("rank", self.machine.policy.rank_expr)
+        return ad
+
+    def _advertise_loop(self):
+        while True:
+            yield from self.advertise()
+            yield self.sim.timeout(self.config.advertise_interval)
+
+    def advertise(self):
+        """Generator: send every slot's current ad to the matchmaker."""
+        if not self.machine.online:
+            return
+        self.ads_sent += 1
+        try:
+            conn = yield from self.net.connect(
+                self.machine.name, self.matchmaker_host, 9618,
+                timeout=self.config.claim_timeout,
+            )
+            for slot in range(self.machine.slots):
+                conn.send(
+                    Advertise(
+                        kind="machine",
+                        name=self._slot_name(slot),
+                        ad=self.build_ad(slot),
+                    ),
+                    size=WireSize.AD,
+                )
+            conn.close()
+        except NetworkError:
+            return  # matchmaker unreachable; try again next interval
+
+    # -- claiming -----------------------------------------------------------
+    def _accept_loop(self):
+        while True:
+            conn = yield from self.listener.accept()
+            handler = self.sim.spawn(self._claim(conn), name=f"claim:{self.machine.name}")
+            handler.defuse()
+
+    def _claim(self, conn):
+        try:
+            request = yield from conn.recv(timeout=self.config.claim_timeout)
+        except NetworkError:
+            conn.close()
+            return
+        if not isinstance(request, RequestClaim):
+            conn.close()
+            return
+        if not self.machine.online:
+            conn.close()
+            return
+        # "Matched processes are individually responsible for ... verifying
+        # that their needs are met": re-check the owner's policy directly.
+        free = self.free_slots()
+        slot = next(
+            (s for s in free if match(self.build_ad(s), request.job_ad)), None
+        )
+        if slot is None and self.config.preemption:
+            slot = self._preemptable_slot(request.job_ad)
+            if slot is not None:
+                incumbent = self.slot_starters[slot]
+                if incumbent is not None:
+                    incumbent.evict()
+        if slot is None:
+            self.claims_rejected += 1
+            reason = "policy refuses job" if free else "already claimed"
+            conn.send(ClaimRejected(reason), size=WireSize.CONTROL)
+            conn.close()
+            return
+        claim_id = f"claim-{self.machine.name}-{next(_claim_counter)}"
+        starter_port = next(_starter_ports)
+        self.slot_claimed[slot] = request.schedd_name
+        self.slot_rank[slot] = rank(self.build_ad(slot), request.job_ad)
+        self.claims_granted += 1
+        starter = Starter(
+            sim=self.sim,
+            net=self.net,
+            machine=self.machine,
+            claim_id=claim_id,
+            port=starter_port,
+            config=self.config,
+            on_exit=lambda slot=slot: None,  # replaced just below
+        )
+        starter.on_exit = lambda slot=slot, starter=starter: self._starter_exited(
+            slot, starter
+        )
+        self.slot_starters[slot] = starter
+        conn.send(ClaimGranted(claim_id=claim_id, starter_port=starter_port), size=WireSize.CONTROL)
+        conn.close()
+        # Advertise the claimed state promptly so the matchmaker stops
+        # handing this slot out.
+        refresh = self.sim.spawn(self.advertise(), name=f"startd-readvert:{self.machine.name}")
+        refresh.defuse()
+
+    def _preemptable_slot(self, job_ad: ClassAd) -> int | None:
+        """The busy slot the owner's Rank most wants to hand to *job_ad*.
+
+        A slot is preemptable when the new job out-ranks the incumbent
+        *strictly* (no churn among equals) and the policy accepts it.
+        """
+        best_slot, best_gain = None, 0.0
+        for slot in range(self.machine.slots):
+            if self.slot_claimed[slot] is None:
+                continue
+            ad = self.build_ad(slot)
+            if not match(ad, job_ad):
+                continue
+            gain = rank(ad, job_ad) - self.slot_rank[slot]
+            if gain > best_gain:
+                best_slot, best_gain = slot, gain
+        return best_slot
+
+    def _starter_exited(self, slot: int, starter: Starter | None = None) -> None:
+        # A preempted starter exits *after* its slot was re-claimed; only
+        # the slot's current occupant may clear the bookkeeping.
+        if starter is not None and self.slot_starters[slot] is not starter:
+            return
+        self.slot_claimed[slot] = None
+        self.slot_starters[slot] = None
+        self.slot_rank[slot] = 0.0
+        refresh = self.sim.spawn(self.advertise(), name=f"startd-readvert:{self.machine.name}")
+        refresh.defuse()
+
+    # -- owner policy enforcement (§2.1: "when and how visiting jobs may
+    # be executed") -----------------------------------------------------
+    def evict(self) -> None:
+        """The owner wants the machine back: evict every visiting job."""
+        for starter in self.slot_starters.values():
+            if starter is not None:
+                starter.evict()
+        refresh = self.sim.spawn(self.advertise(), name=f"startd-evict-advert:{self.machine.name}")
+        refresh.defuse()

@@ -1,0 +1,231 @@
+"""Pool assembly: wire a whole Condor pool over the simulation substrate.
+
+A :class:`Pool` owns the simulator, the network, the submit machine with
+its schedd and home file system, the central manager, and any number of
+execution machines with startds.  It also owns the Figure-3
+:class:`~repro.core.propagation.ManagementChain` into which the daemons
+record error journeys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.condor.daemons.config import CondorConfig
+from repro.condor.daemons.matchmaker import Matchmaker
+from repro.condor.daemons.schedd import Schedd
+from repro.condor.daemons.startd import Startd
+from repro.condor.job import Job
+from repro.core.propagation import ManagementChain, ScopeManager
+from repro.core.scope import ErrorScope
+from repro.remoteio.server import SyncFsAdapter
+from repro.sim.engine import Simulator
+from repro.sim.filesystem import LocalFileSystem
+from repro.sim.machine import JavaInstallation, Machine, OwnerPolicy
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Pool", "PoolConfig", "figure3_chain"]
+
+
+def figure3_chain() -> ManagementChain:
+    """The Java Universe management chain of Figure 3."""
+    return ManagementChain(
+        [
+            ScopeManager("program", {ErrorScope.FILE, ErrorScope.FUNCTION}),
+            ScopeManager("wrapper", {ErrorScope.PROGRAM, ErrorScope.PROCESS}),
+            ScopeManager("starter", {ErrorScope.VIRTUAL_MACHINE, ErrorScope.CLUSTER}),
+            ScopeManager("shadow", {ErrorScope.REMOTE_RESOURCE}),
+            ScopeManager("schedd", {ErrorScope.LOCAL_RESOURCE, ErrorScope.JOB}),
+            ScopeManager("user", {ErrorScope.POOL}),
+        ]
+    )
+
+
+@dataclass
+class PoolConfig:
+    """Shape of the pool to build."""
+
+    n_machines: int = 4
+    machine_memory: int = 256 * 2**20
+    machine_scratch: int = 10**9
+    cpu_speeds: list[float] = field(default_factory=list)  # default: all 1.0
+    seed: int = 0
+    condor: CondorConfig = field(default_factory=CondorConfig)
+    submit_host: str = "submit"
+    central_host: str = "central"
+    home_capacity: int = 10**9
+    network_latency: float = 0.001
+    #: None = local home directory; "hard"/"soft" = NFS-mounted home with
+    #: that mount mode (§5's dilemma, surfaced through every shadow)
+    home_nfs_mode: str | None = None
+    home_nfs_soft_timeout: float = 30.0
+    home_nfs_retry_interval: float = 1.0
+
+
+class Pool:
+    """A complete simulated Condor pool."""
+
+    def __init__(self, config: PoolConfig | None = None):
+        self.config = config or PoolConfig()
+        condor = self.config.condor
+        self.sim = Simulator()
+        self.rngs = RngRegistry(self.config.seed)
+        self.net = Network(
+            self.sim,
+            default_latency=self.config.network_latency,
+            rng=self.rngs.stream("network.loss"),
+        )
+        self.chain = figure3_chain()
+        # Submit side.
+        self.net.register_host(self.config.submit_host)
+        self.home_fs = LocalFileSystem("home", capacity=self.config.home_capacity, sim=self.sim)
+        self.home_fs.mkdir("/home/user", parents=True)
+        if self.config.home_nfs_mode is None:
+            self.home_backend = SyncFsAdapter(self.home_fs)
+        else:
+            from repro.sim.filesystem import NfsClient
+
+            self.home_backend = NfsClient(
+                self.sim,
+                self.home_fs,
+                mode=self.config.home_nfs_mode,
+                soft_timeout=self.config.home_nfs_soft_timeout,
+                retry_interval=self.config.home_nfs_retry_interval,
+            )
+        # Central manager.
+        self.matchmaker = Matchmaker(self.sim, self.net, self.config.central_host, condor)
+        self.schedd = Schedd(
+            self.sim,
+            self.net,
+            self.config.submit_host,
+            self.home_backend,
+            self.config.central_host,
+            condor,
+            chain=self.chain,
+        )
+        self.schedds: dict[str, Schedd] = {self.config.submit_host: self.schedd}
+        # Execution machines.
+        self.machines: dict[str, Machine] = {}
+        self.startds: dict[str, Startd] = {}
+        speeds = self.config.cpu_speeds or [1.0] * self.config.n_machines
+        for i in range(self.config.n_machines):
+            self.add_machine(
+                f"exec{i:03d}",
+                cpu_speed=speeds[i % len(speeds)],
+            )
+
+    # -- construction -----------------------------------------------------------
+    def add_machine(
+        self,
+        name: str,
+        memory: int | None = None,
+        cpu_speed: float = 1.0,
+        java: JavaInstallation | None = None,
+        policy: OwnerPolicy | None = None,
+        slots: int = 1,
+    ) -> Machine:
+        """Add one execution machine (and its startd) to the pool."""
+        machine = Machine(
+            self.sim,
+            name,
+            memory=memory if memory is not None else self.config.machine_memory,
+            cpu_speed=cpu_speed,
+            scratch_capacity=self.config.machine_scratch,
+            java=java,
+            policy=policy,
+            slots=slots,
+        )
+        self.machines[name] = machine
+        self.startds[name] = Startd(
+            self.sim, self.net, machine, self.config.central_host, self.config.condor
+        )
+        return machine
+
+    def add_schedd(self, submit_host: str, home_capacity: int | None = None) -> Schedd:
+        """Add another submission site (its own schedd and home file system).
+
+        A "community of computers" (§2.1) usually has many submitters; the
+        matchmaker arbitrates between them (fair share).
+        """
+        if submit_host in self.schedds:
+            raise ValueError(f"schedd already exists on {submit_host}")
+        self.net.register_host(submit_host)
+        home_fs = LocalFileSystem(
+            f"home:{submit_host}",
+            capacity=home_capacity if home_capacity is not None else self.config.home_capacity,
+            sim=self.sim,
+        )
+        home_fs.mkdir("/home/user", parents=True)
+        schedd = Schedd(
+            self.sim,
+            self.net,
+            submit_host,
+            SyncFsAdapter(home_fs),
+            self.config.central_host,
+            self.config.condor,
+            chain=self.chain,
+        )
+        schedd.home_fs_local = home_fs  # handy for tests/workloads
+        self.schedds[submit_host] = schedd
+        return schedd
+
+    # -- operation ------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Submit *job* to the pool's schedd."""
+        self.schedd.submit(job)
+
+    def run(self, until: float) -> float:
+        """Advance the simulation to time *until*."""
+        return self.sim.run(until=until)
+
+    def submit_at(self, job: Job, when: float) -> None:
+        """Schedule *job* for submission at simulated time *when*."""
+        self.sim.call_at(when, lambda: self.schedd.submit(job))
+
+    def run_until_done(
+        self,
+        max_time: float = 100_000.0,
+        check_every: int = 256,
+        expected_jobs: int | None = None,
+    ) -> float:
+        """Run until every job is terminal (or *max_time* passes).
+
+        With staggered submissions (:meth:`submit_at`), pass
+        *expected_jobs* so the loop does not stop before late arrivals
+        enter the queue.  The daemons' periodic loops keep the event queue
+        alive forever, so completion is detected by polling the schedd
+        between event batches.
+        """
+        steps = 0
+        while self.sim.now < max_time:
+            if steps % check_every == 0:
+                arrived = sum(len(s.jobs) for s in self.schedds.values())
+                if (
+                    arrived > 0
+                    and (expected_jobs is None or arrived >= expected_jobs)
+                    and all(s.all_terminal() for s in self.schedds.values())
+                ):
+                    break
+            if not self.sim.step():
+                break
+            steps += 1
+        return self.sim.now
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def userlog(self):
+        return self.schedd.userlog
+
+    @property
+    def trace(self):
+        return self.chain.trace
+
+    def job(self, job_id: str) -> Job:
+        return self.schedd.jobs[job_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Pool machines={len(self.machines)} jobs={len(self.schedd.jobs)} "
+            f"t={self.sim.now:.1f}>"
+        )

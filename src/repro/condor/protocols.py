@@ -1,0 +1,181 @@
+"""Typed messages of the Condor kernel protocols (Figure 1).
+
+Four protocols connect the kernel:
+
+- **matchmaking** -- schedds and startds advertise ClassAds to the
+  matchmaker; the matchmaker notifies compatible partners;
+- **claiming** -- "schedds and startds communicate directly to claim one
+  another and verify that their requirements are met";
+- **control** -- the schedd commands its shadow; the startd its starter;
+- **shadow protocol** -- the starter fetches job details and files from
+  the shadow and returns results.
+
+All messages are plain frozen dataclasses sent over
+:class:`repro.sim.network.Connection` objects, so every protocol hop is
+subject to the simulated network's failure modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.condor.classads import ClassAd
+
+__all__ = [
+    "Advertise",
+    "ActivateClaim",
+    "ClaimGranted",
+    "ClaimRejected",
+    "FileData",
+    "FileRequest",
+    "JobDetails",
+    "JobDetailsRequest",
+    "JobResult",
+    "MatchNotify",
+    "RequestClaim",
+    "WireSize",
+]
+
+
+class WireSize:
+    """Nominal wire sizes (bytes) for traffic accounting."""
+
+    CONTROL = 128
+    AD = 1024
+    FILE_CHUNK = 4096
+
+
+# -- matchmaking protocol ----------------------------------------------------
+
+@dataclass(frozen=True)
+class Advertise:
+    """A daemon publishes its ClassAd to the matchmaker."""
+
+    kind: str  # "machine" or "job"
+    name: str  # advertising daemon's name
+    ad: ClassAd
+
+
+@dataclass(frozen=True)
+class MatchNotify:
+    """The matchmaker tells a schedd about a compatible startd."""
+
+    job_id: str
+    startd_name: str
+    startd_host: str
+    startd_port: int
+    machine_ad: ClassAd
+
+
+# -- claiming protocol ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class RequestClaim:
+    """Schedd asks a matched startd for a claim, presenting the job ad."""
+
+    schedd_name: str
+    job_id: str
+    job_ad: ClassAd
+
+
+@dataclass(frozen=True)
+class ClaimGranted:
+    claim_id: str
+    starter_port: int
+
+
+@dataclass(frozen=True)
+class ClaimRejected:
+    reason: str
+
+
+# -- shadow protocol -----------------------------------------------------------
+
+@dataclass(frozen=True)
+class JobDetailsRequest:
+    """Starter asks the shadow for the job description."""
+
+    claim_id: str
+
+
+@dataclass(frozen=True)
+class JobDetails:
+    """'...the details of the job to be run, such as the executable, the
+    input files, and the arguments.' (§2.1)
+
+    Also carries the shadow's remote I/O contact point and the credential
+    the proxy must present there (Figure 2's RPC channel "secured by GSI
+    or Kerberos").
+    """
+
+    job_id: str
+    universe: str
+    image_name: str
+    input_files: tuple[str, ...]
+    heap_request: int
+    program: Any  # opaque behaviour model interpreted by the universe
+    shadow_io_host: str = ""
+    shadow_io_port: int = 0
+    credential: Any = None
+    #: Standard Universe: resume execution from this step index (the
+    #: shadow's record of the job's last committed checkpoint).
+    resume_from: int = 0
+
+
+@dataclass(frozen=True)
+class FileRequest:
+    """Starter asks the shadow for a named file's content."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class FileData:
+    """The shadow's reply: content, or an explicit error code."""
+
+    name: str
+    data: bytes = b""
+    error: str = ""  # errno-style code; empty means success
+
+
+@dataclass(frozen=True)
+class CheckpointNotice:
+    """Standard Universe: the starter's report that the job has committed
+    a checkpoint through step *steps_done*.
+
+    The real mechanism ships a memory image to the shadow's checkpoint
+    server; the simulation ships the program counter, which carries the
+    same information for a step-modelled program.
+    """
+
+    claim_id: str
+    steps_done: int
+
+
+@dataclass(frozen=True)
+class Keepalive:
+    """The starter's periodic 'alive' message while the job runs.
+
+    Lets the shadow distinguish a long-running job from a dead execution
+    site -- precisely the time-based scope disambiguation of §5.
+    """
+
+    claim_id: str
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Starter's report to the shadow at the end of an execution.
+
+    *result_file* carries the wrapper's serialized result file when one
+    was produced; *exit_code*/*exit_signal* carry the raw JVM process
+    status (all the naive configuration has to go on).
+    """
+
+    claim_id: str
+    exit_code: int = 0
+    exit_signal: int | None = None
+    result_file: bytes | None = None
+    starter_error: str = ""  # condition discovered by the starter itself
+    starter_error_scope: str = ""  # name of an ErrorScope member

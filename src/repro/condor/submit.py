@@ -1,0 +1,192 @@
+"""The Condor submit-description language.
+
+    "A user submits jobs to a schedd..." (§2.1) -- and in practice does so
+    by writing a submit description.  This module parses the classic
+    syntax::
+
+        universe      = java
+        executable    = Main.class
+        input_files   = table.dat = /home/user/table.dat, cfg = /home/user/c
+        requirements  = TARGET.memory >= 64
+        rank          = TARGET.cpuspeed
+        image_size    = 16M
+        heap_request  = 32M
+        owner         = alice
+        queue 3
+
+    and yields :class:`~repro.condor.job.Job` objects (``queue N`` emits N
+    jobs with ids ``<cluster>.0 .. <cluster>.N-1``).  Multiple
+    ``queue`` statements re-use the attributes in effect at that point,
+    exactly like the real tool.
+
+    Program behaviour (the simulation's stand-in for the executable's
+    bytes) is attached via the ``programs`` argument, keyed by executable
+    name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.condor.classads.parser import ParseError, parse as parse_classad
+from repro.condor.job import Job, ProgramImage, Universe
+
+__all__ = ["SubmitError", "parse_submit"]
+
+
+class SubmitError(Exception):
+    """Malformed submit description."""
+
+
+_SIZE_SUFFIXES = {"K": 2**10, "M": 2**20, "G": 2**30}
+
+
+def _parse_size(text: str) -> int:
+    text = text.strip().upper()
+    try:
+        if text and text[-1] in _SIZE_SUFFIXES:
+            return int(float(text[:-1]) * _SIZE_SUFFIXES[text[-1]])
+        return int(text)
+    except ValueError as exc:
+        raise SubmitError(f"bad size {text!r}") from exc
+
+
+def _parse_input_files(text: str) -> dict[str, str]:
+    """``logical = /path, logical2 = /path2`` or bare paths (basename used)."""
+    mapping: dict[str, str] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" in part:
+            logical, _, path = part.partition("=")
+            mapping[logical.strip()] = path.strip()
+        else:
+            mapping[part.rsplit("/", 1)[-1]] = part
+    return mapping
+
+
+_KNOWN_KEYS = {
+    "universe",
+    "executable",
+    "input_files",
+    "requirements",
+    "rank",
+    "image_size",
+    "heap_request",
+    "owner",
+}
+
+
+@dataclass
+class _State:
+    universe: Universe = Universe.VANILLA
+    executable: str = ""
+    input_files: dict[str, str] = field(default_factory=dict)
+    requirements: str = "TRUE"
+    rank: str = "0"
+    image_size: int = 16 * 2**20
+    heap_request: int = 32 * 2**20
+    owner: str = "nobody"
+
+
+def parse_submit(
+    source: str,
+    cluster: int = 1,
+    programs: dict | None = None,
+) -> list[Job]:
+    """Parse *source* and return the queued jobs.
+
+    *programs* maps executable names to behaviour models
+    (:class:`~repro.jvm.program.JavaProgram`); executables without an
+    entry get a default no-op program.
+
+    Raises :class:`SubmitError` with a line number on any malformed line,
+    including syntactically invalid ``requirements``/``rank`` expressions
+    -- submit-time rejection of bad ClassAds is itself an instance of
+    Principle 4 (catch contract violations at the interface).
+    """
+    programs = programs or {}
+    state = _State()
+    jobs: list[Job] = []
+    proc = 0
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        lowered = line.lower()
+        if lowered == "queue" or lowered.startswith("queue "):
+            count_text = line[5:].strip() or "1"
+            try:
+                count = int(count_text)
+            except ValueError as exc:
+                raise SubmitError(f"line {lineno}: bad queue count {count_text!r}") from exc
+            if count < 1:
+                raise SubmitError(f"line {lineno}: queue count must be positive")
+            if not state.executable:
+                raise SubmitError(f"line {lineno}: queue before executable")
+            for _ in range(count):
+                jobs.append(_make_job(state, cluster, proc, programs))
+                proc += 1
+            continue
+        if "=" not in line:
+            raise SubmitError(f"line {lineno}: expected 'key = value', got {line!r}")
+        key, _, value = line.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        if key not in _KNOWN_KEYS:
+            raise SubmitError(f"line {lineno}: unknown key {key!r}")
+        try:
+            _apply(state, key, value)
+        except SubmitError as exc:
+            raise SubmitError(f"line {lineno}: {exc}") from None
+    if not jobs:
+        raise SubmitError("no queue statement: nothing submitted")
+    return jobs
+
+
+def _apply(state: _State, key: str, value: str) -> None:
+    if key == "universe":
+        try:
+            state.universe = Universe(value.lower())
+        except ValueError:
+            raise SubmitError(f"unknown universe {value!r}") from None
+    elif key == "executable":
+        if not value:
+            raise SubmitError("empty executable")
+        state.executable = value
+    elif key == "input_files":
+        state.input_files = _parse_input_files(value)
+    elif key in ("requirements", "rank"):
+        try:
+            parse_classad(value)
+        except (ParseError, Exception) as exc:
+            if not isinstance(exc, ParseError):
+                # LexError inherits from Exception but not ParseError.
+                from repro.condor.classads.lexer import LexError
+
+                if not isinstance(exc, LexError):
+                    raise
+            raise SubmitError(f"bad {key} expression: {exc}") from None
+        setattr(state, key, value)
+    elif key == "image_size":
+        state.image_size = _parse_size(value)
+    elif key == "heap_request":
+        state.heap_request = _parse_size(value)
+    elif key == "owner":
+        state.owner = value
+
+
+def _make_job(state: _State, cluster: int, proc: int, programs: dict) -> Job:
+    program = programs.get(state.executable)
+    return Job(
+        job_id=f"{cluster}.{proc}",
+        owner=state.owner,
+        universe=state.universe,
+        image=ProgramImage(state.executable, program=program),
+        input_files=dict(state.input_files),
+        requirements=state.requirements,
+        rank=state.rank,
+        image_size=state.image_size,
+        heap_request=state.heap_request,
+    )

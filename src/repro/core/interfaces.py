@@ -1,0 +1,145 @@
+"""Concise, finite error interfaces (Principle 4) with automatic
+escaping-error conversion (Principle 2).
+
+The paper's prescription::
+
+    class FileWriter {
+        FileWriter( File f ) throws FileNotFound, AccessDenied;
+        void write( int )    throws DiskFull;
+    }
+
+An :class:`ErrorInterface` declares, per operation, the *finite* set of
+explicit errors the caller must be prepared for.  At runtime the interface
+is the checkpoint between implementation and caller:
+
+- a declared error passes through as an ordinary explicit result;
+- an undeclared error "represents the mismatch between an interface and an
+  implementation" (§3.2) and is converted to an :class:`EscapingError`
+  (Principle 2) rather than smuggled through (which would eventually cause
+  an implicit error, violating Principle 1).
+
+A *generic* operation (``generic=True``) models the ``IOException``
+anti-pattern: an open-ended error set that lets anything through.  The
+naive Java Universe configuration uses generic interfaces; the principle
+auditor charges P4 violations to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ErrorKind, EscapingError, GridError
+
+__all__ = ["ErrorInterface", "InterfaceViolation", "Operation"]
+
+
+class InterfaceViolation(Exception):
+    """Raised for misuse of the interface machinery itself (a coding bug,
+    not a simulated error)."""
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation of an interface and its declared error set."""
+
+    interface: str
+    name: str
+    errors: frozenset[str]
+    generic: bool = False
+
+    def declares(self, error_name: str) -> bool:
+        """True if *error_name* is within this operation's contract."""
+        return self.generic or error_name in self.errors
+
+    def __str__(self) -> str:
+        decl = "..." if self.generic else ", ".join(sorted(self.errors))
+        return f"{self.interface}.{self.name} throws {decl or 'nothing'}"
+
+
+@dataclass
+class _Crossing:
+    """Record of one error presented at an interface (for the auditor)."""
+
+    operation: Operation
+    error: GridError
+    declared: bool
+    converted_to_escaping: bool
+    time: float = 0.0
+
+
+class ErrorInterface:
+    """A named collection of operations with finite error sets.
+
+    >>> iface = ErrorInterface("FileWriter")
+    >>> iface.operation("open", {"FileNotFound", "AccessDenied"})
+    >>> iface.operation("write", {"DiskFull"})
+
+    ``vet()`` is called by an implementation that has discovered an
+    explicit error and wants to present it to its caller through this
+    interface.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._operations: dict[str, Operation] = {}
+        self.crossings: list[_Crossing] = []
+
+    def operation(
+        self, name: str, errors: set[str] | frozenset[str] = frozenset(), generic: bool = False
+    ) -> Operation:
+        """Declare operation *name* with its finite error set.
+
+        ``generic=True`` declares an open-ended (IOException-style) set;
+        *errors* then lists only the documented instances.
+        """
+        if name in self._operations:
+            raise InterfaceViolation(f"operation {name!r} already declared on {self.name}")
+        op = Operation(self.name, name, frozenset(errors), generic)
+        self._operations[name] = op
+        return op
+
+    def __getitem__(self, name: str) -> Operation:
+        try:
+            return self._operations[name]
+        except KeyError:
+            raise InterfaceViolation(f"{self.name} has no operation {name!r}") from None
+
+    def operations(self) -> list[Operation]:
+        """All declared operations."""
+        return list(self._operations.values())
+
+    # -- the runtime checkpoint -------------------------------------------
+    def vet(self, op_name: str, error: GridError, time: float = 0.0) -> GridError:
+        """Present explicit *error* at operation *op_name*.
+
+        Returns the error unchanged when it is within the operation's
+        contract.  Raises :class:`EscapingError` when it is not --
+        Principle 2's conversion -- recording the crossing either way.
+        """
+        op = self[op_name]
+        if error.kind is ErrorKind.ESCAPING:
+            # Escaping errors never pass through an interface as results;
+            # re-raise so they keep climbing.
+            self.crossings.append(_Crossing(op, error, False, True, time))
+            raise EscapingError(error)
+        declared = op.declares(error.name)
+        self.crossings.append(_Crossing(op, error, declared, not declared, time))
+        if declared:
+            return error
+        raise EscapingError(error.as_escaping(by=f"{self.name}.{op_name}"))
+
+    # -- metrics ---------------------------------------------------------
+    def generic_passes(self) -> int:
+        """How many errors crossed only because an operation was generic."""
+        return sum(
+            1
+            for c in self.crossings
+            if c.declared and c.operation.generic and c.error.name not in c.operation.errors
+        )
+
+    def conversions(self) -> int:
+        """How many explicit errors were converted to escaping here."""
+        return sum(1 for c in self.crossings if c.converted_to_escaping)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ErrorInterface {self.name} ops={sorted(self._operations)}>"

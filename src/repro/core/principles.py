@@ -1,0 +1,166 @@
+"""The principle auditor: mechanically checking Principles 1-4.
+
+Given the artifacts of a run -- the propagation trace, the error
+interfaces, and the per-job outcomes with injected ground truth -- the
+auditor reports every detectable violation:
+
+- **P1** ("a program must not generate an implicit error as a result of
+  receiving an explicit error"): a job whose ground truth is an
+  environmental error (scope wider than PROGRAM) but that was presented
+  to the user as a valid program result.  The canonical instance is the
+  JVM collapsing a misconfiguration into exit code 1 (Figure 4).
+- **P2** ("an escaping error must be used to convert a potential implicit
+  error into an explicit error at a higher level"): an out-of-contract
+  error that crossed an interface as an ordinary explicit result instead
+  of escaping -- only possible through a generic operation.
+- **P3** ("an error must be propagated to the program that manages its
+  scope"): MISHANDLED trace events (a manager consumed an error outside
+  its scope) and UNMANAGED events (an error fell off the chain raw).
+- **P4** ("error interfaces must be concise and finite"): every crossing
+  of a generic (open-ended) operation by an undocumented error name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import GridError
+from repro.core.interfaces import ErrorInterface
+from repro.core.propagation import EventType, PropagationTrace
+from repro.core.scope import ErrorScope
+
+__all__ = ["JobGroundTruth", "PrincipleAuditor", "Violation"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected violation of one principle."""
+
+    principle: int
+    description: str
+    subject: str = ""  # job id, interface.operation, or manager name
+
+    def __str__(self) -> str:
+        where = f" [{self.subject}]" if self.subject else ""
+        return f"P{self.principle}{where}: {self.description}"
+
+
+@dataclass
+class JobGroundTruth:
+    """What actually happened to a job vs. what the user was told.
+
+    - *truth_scope*: the widest scope of any injected/environmental error
+      that affected the decisive execution (None = clean run).
+    - *claimed_program_result*: the system presented the outcome to the
+      user as a valid program result (completion or program exception).
+    """
+
+    job_id: str
+    truth_scope: ErrorScope | None
+    claimed_program_result: bool
+    detail: str = ""
+
+
+class PrincipleAuditor:
+    """Collects run artifacts and reports violations of Principles 1-4."""
+
+    def __init__(self) -> None:
+        self.violations: list[Violation] = []
+
+    # -- P1 ------------------------------------------------------------
+    def audit_outcomes(self, outcomes: list[JobGroundTruth]) -> list[Violation]:
+        """Check every job outcome for P1 violations."""
+        found = []
+        for outcome in outcomes:
+            if (
+                outcome.truth_scope is not None
+                and not outcome.truth_scope.within_program_contract
+                and outcome.claimed_program_result
+            ):
+                found.append(
+                    Violation(
+                        1,
+                        f"environmental error of {outcome.truth_scope} scope "
+                        f"presented as a valid program result"
+                        + (f" ({outcome.detail})" if outcome.detail else ""),
+                        subject=outcome.job_id,
+                    )
+                )
+        self.violations.extend(found)
+        return found
+
+    # -- P2 and P4 ----------------------------------------------------------
+    def audit_interfaces(self, interfaces: list[ErrorInterface]) -> list[Violation]:
+        """Check recorded interface crossings for P2 and P4 violations."""
+        found = []
+        for iface in interfaces:
+            for crossing in iface.crossings:
+                op = crossing.operation
+                undocumented = crossing.error.name not in op.errors
+                if op.generic and crossing.declared and undocumented:
+                    found.append(
+                        Violation(
+                            4,
+                            f"undocumented error {crossing.error.name!r} passed "
+                            f"through generic interface",
+                            subject=str(op),
+                        )
+                    )
+                    if not crossing.error.scope.within_program_contract:
+                        found.append(
+                            Violation(
+                                2,
+                                f"out-of-contract error {crossing.error.name!r} "
+                                f"({crossing.error.scope} scope) presented as an "
+                                f"explicit result instead of escaping",
+                                subject=str(op),
+                            )
+                        )
+        self.violations.extend(found)
+        return found
+
+    # -- P3 ---------------------------------------------------------------
+    def audit_trace(self, trace: PropagationTrace) -> list[Violation]:
+        """Check the propagation trace for P3 violations."""
+        found = []
+        for event in trace:
+            if event.event is EventType.MISHANDLED:
+                found.append(
+                    Violation(
+                        3,
+                        f"{event.error} consumed by {event.manager!r}, which does "
+                        f"not manage {event.error.scope} scope",
+                        subject=event.manager,
+                    )
+                )
+            elif event.event is EventType.UNMANAGED:
+                found.append(
+                    Violation(
+                        3,
+                        f"{event.error} reached the end of the chain with no "
+                        f"manager for {event.error.scope} scope",
+                        subject=event.manager,
+                    )
+                )
+        self.violations.extend(found)
+        return found
+
+    # -- reporting -----------------------------------------------------------
+    def summary(self) -> dict[int, int]:
+        """Violation counts keyed by principle number (1-4, always present)."""
+        counts = {1: 0, 2: 0, 3: 0, 4: 0}
+        for violation in self.violations:
+            counts[violation.principle] += 1
+        return counts
+
+    def render(self) -> str:
+        """Human-readable report."""
+        if not self.violations:
+            return "no principle violations detected"
+        lines = [f"{len(self.violations)} principle violations:"]
+        lines += [f"  {v}" for v in self.violations]
+        counts = self.summary()
+        lines.append(
+            "summary: " + "  ".join(f"P{p}={n}" for p, n in counts.items())
+        )
+        return "\n".join(lines)

@@ -1,0 +1,243 @@
+"""Scope managers and the propagation engine (Principle 3).
+
+    "An error must be propagated to the program that manages its scope."
+
+A :class:`ManagementChain` is an ordered sequence of :class:`ScopeManager`
+objects, innermost first -- for the Java Universe: program, wrapper, jvm,
+starter, shadow, schedd, user (Figure 3).  ``propagate()`` walks an error
+outward from its discoverer until it reaches the first manager whose
+scope set contains the error's scope.  That manager *handles* the error:
+it may **mask** it (apply fault tolerance: retry, pick another replica),
+or **report** it outward as a new explicit error at its own level --
+never let it continue in its raw form.
+
+Every step is recorded in a :class:`PropagationTrace`, the input to the
+principle auditor and to the experiment metrics.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.errors import GridError
+from repro.core.scope import ErrorScope
+
+__all__ = [
+    "Action",
+    "ManagementChain",
+    "PropagationTrace",
+    "ScopeManager",
+    "TraceEvent",
+]
+
+
+class Action(enum.Enum):
+    """What a manager decides to do with an error delivered to it."""
+
+    MASK = "mask"  # absorbed: retry / replica / ignore; invisible above
+    REPORT = "report"  # handled: re-presented outward at this manager's level
+    ESCALATE = "escalate"  # not mine: pass to the next manager out
+
+
+class EventType(enum.Enum):
+    """What happened to an error at one step of its journey."""
+
+    DISCOVERED = "discovered"
+    ESCALATED = "escalated"
+    DELIVERED = "delivered"  # reached the manager of its scope
+    MASKED = "masked"
+    REPORTED = "reported"
+    MISHANDLED = "mishandled"  # consumed by a manager that does NOT manage it
+    UNMANAGED = "unmanaged"  # fell off the outer end of the chain
+    CONVERTED = "converted"  # explicit -> escaping at an interface
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step in an error's journey through the chain."""
+
+    time: float
+    event: EventType
+    manager: str
+    error: GridError
+
+    def __str__(self) -> str:
+        return f"t={self.time:.3f} {self.event.value:>10} @{self.manager}: {self.error}"
+
+
+class PropagationTrace:
+    """An append-only record of propagation steps across a whole run."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(self, time: float, event: EventType, manager: str, error: GridError) -> None:
+        self.events.append(TraceEvent(time, event, manager, error))
+
+    # -- queries ---------------------------------------------------------
+    def for_error(self, error: GridError) -> list[TraceEvent]:
+        """All events for *error* (matched by stable ``error_id``)."""
+        return [e for e in self.events if e.error.error_id == error.error_id]
+
+    def terminal(self, error: GridError) -> TraceEvent | None:
+        """The final event of *error*'s journey, if it has ended."""
+        journey = self.for_error(error)
+        for ev in reversed(journey):
+            if ev.event in (
+                EventType.MASKED,
+                EventType.REPORTED,
+                EventType.MISHANDLED,
+                EventType.UNMANAGED,
+            ):
+                return ev
+        return None
+
+    def count(self, event: EventType) -> int:
+        return sum(1 for e in self.events if e.event is event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def render(self) -> str:
+        """A human-readable dump of the whole trace."""
+        return "\n".join(str(e) for e in self.events)
+
+
+#: Decides MASK vs REPORT once an error is delivered to its manager.
+#: Receives (manager, error); returning None means REPORT.
+HandlerPolicy = Callable[["ScopeManager", GridError], Action | None]
+
+
+class ScopeManager:
+    """One program in the chain, responsible for a set of scopes.
+
+    *scopes* is the set of :class:`ErrorScope` values this program
+    manages -- e.g. the starter manages ``REMOTE_RESOURCE`` (and
+    ``CLUSTER``); the schedd manages ``LOCAL_RESOURCE`` and ``JOB``.
+
+    *policy* decides, for a delivered error, whether to mask it or report
+    it outward; the default reports everything (no fault tolerance).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        scopes: set[ErrorScope] | frozenset[ErrorScope],
+        policy: HandlerPolicy | None = None,
+    ):
+        self.name = name
+        self.scopes = frozenset(scopes)
+        self.policy = policy
+        self.handled: list[tuple[GridError, Action]] = []
+
+    def manages(self, scope: ErrorScope) -> bool:
+        """True if errors of *scope* belong to this manager."""
+        return scope in self.scopes
+
+    def decide(self, error: GridError) -> Action:
+        """MASK or REPORT a delivered error (never ESCALATE from here)."""
+        action: Action | None = None
+        if self.policy is not None:
+            action = self.policy(self, error)
+        if action is None or action is Action.ESCALATE:
+            action = Action.REPORT
+        self.handled.append((error, action))
+        return action
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ScopeManager {self.name} scopes={sorted(s.name for s in self.scopes)}>"
+
+
+@dataclass
+class PropagationOutcome:
+    """The result of propagating one error through the chain."""
+
+    error: GridError
+    handler: str | None  # manager that finally handled it (None = unmanaged)
+    action: Action | None
+    hops: int  # managers traversed after discovery
+
+    @property
+    def masked(self) -> bool:
+        return self.action is Action.MASK
+
+
+class ManagementChain:
+    """An ordered chain of scope managers, innermost first."""
+
+    def __init__(self, managers: list[ScopeManager], trace: PropagationTrace | None = None):
+        if not managers:
+            raise ValueError("a chain needs at least one manager")
+        names = [m.name for m in managers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate manager names in {names}")
+        self.managers = list(managers)
+        self.trace = trace if trace is not None else PropagationTrace()
+
+    def __getitem__(self, name: str) -> ScopeManager:
+        for m in self.managers:
+            if m.name == name:
+                return m
+        raise KeyError(name)
+
+    def index(self, name: str) -> int:
+        for i, m in enumerate(self.managers):
+            if m.name == name:
+                return i
+        raise KeyError(name)
+
+    def manager_for(self, scope: ErrorScope) -> ScopeManager | None:
+        """The innermost manager that manages *scope*, if any."""
+        for m in self.managers:
+            if m.manages(scope):
+                return m
+        return None
+
+    def propagate(
+        self,
+        error: GridError,
+        discovered_by: str,
+        time: float = 0.0,
+    ) -> PropagationOutcome:
+        """Carry *error* outward from *discovered_by* to its scope manager.
+
+        Correct (Principle-3) routing: every manager between the
+        discoverer and the scope's manager records an ESCALATED event;
+        the scope's manager records DELIVERED then MASKED or REPORTED.
+        An error whose scope nobody manages is UNMANAGED at the outer end
+        (it reaches the user raw -- the failure mode of naive systems).
+        """
+        self.trace.record(time, EventType.DISCOVERED, discovered_by, error)
+        start = self.index(discovered_by)
+        hops = 0
+        for manager in self.managers[start:]:
+            if manager.manages(error.scope):
+                self.trace.record(time, EventType.DELIVERED, manager.name, error)
+                action = manager.decide(error)
+                self.trace.record(
+                    time,
+                    EventType.MASKED if action is Action.MASK else EventType.REPORTED,
+                    manager.name,
+                    error,
+                )
+                return PropagationOutcome(error, manager.name, action, hops)
+            self.trace.record(time, EventType.ESCALATED, manager.name, error)
+            hops += 1
+        self.trace.record(time, EventType.UNMANAGED, self.managers[-1].name, error)
+        return PropagationOutcome(error, None, None, hops)
+
+    def misdeliver(self, error: GridError, consumed_by: str, time: float = 0.0) -> None:
+        """Record that *consumed_by* swallowed an error it does not manage.
+
+        Naive configurations call this; the auditor charges it as a
+        Principle-3 violation.
+        """
+        self.trace.record(time, EventType.MISHANDLED, consumed_by, error)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ManagementChain {' -> '.join(m.name for m in self.managers)}>"

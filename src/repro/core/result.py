@@ -1,0 +1,130 @@
+"""The wrapper's result file (paper §4).
+
+    "The wrapper locates the program, attempts to execute it, and catches
+    any exceptions it may throw.  It examines the exception type, and then
+    produces a result file describing the program result and the scope of
+    any errors discovered.  The starter examines this result file and
+    ignores the JVM result entirely."
+
+The result file is the paper's example of an *indirect channel* carrying
+an error to the manager of its scope (§3.3).  It distinguishes the three
+things a bare exit code conflates (Figure 4): a normal program exit, a
+program exception, and an environmental error with a scope.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.scope import ErrorScope
+
+__all__ = ["ResultFile", "ResultStatus"]
+
+
+class ResultStatus(enum.Enum):
+    """The three distinguishable outcomes of a wrapped execution."""
+
+    COMPLETED = "completed"  # main returned or System.exit(x): code is the result
+    EXCEPTION = "exception"  # the program threw: the exception is the result
+    ENVIRONMENT = "environment"  # the environment failed: scope + name describe it
+
+
+@dataclass(frozen=True)
+class ResultFile:
+    """What the wrapper writes and the starter reads."""
+
+    status: ResultStatus
+    exit_code: int = 0
+    exception_name: str = ""
+    scope: ErrorScope = ErrorScope.PROGRAM
+    error_name: str = ""
+    detail: str = ""
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def completed(cls, exit_code: int) -> "ResultFile":
+        """A normal completion with *exit_code* as the program result."""
+        return cls(ResultStatus.COMPLETED, exit_code=exit_code)
+
+    @classmethod
+    def exception(cls, name: str, detail: str = "") -> "ResultFile":
+        """A program-scope exception: a result the user wants to see."""
+        return cls(ResultStatus.EXCEPTION, exception_name=name, detail=detail)
+
+    @classmethod
+    def environment(cls, scope: ErrorScope, name: str, detail: str = "") -> "ResultFile":
+        """An environmental error of *scope*: not a program result."""
+        return cls(ResultStatus.ENVIRONMENT, scope=scope, error_name=name, detail=detail)
+
+    # -- predicates ----------------------------------------------------------
+    @property
+    def is_program_result(self) -> bool:
+        """True when the content belongs to the user (Figure 3's inner scopes)."""
+        return self.status in (ResultStatus.COMPLETED, ResultStatus.EXCEPTION)
+
+    def same_outcome(self, other: "ResultFile | None") -> bool:
+        """Semantic equality: same outcome, ignoring free-text detail."""
+        if other is None:
+            return False
+        return (
+            self.status is other.status
+            and self.exit_code == other.exit_code
+            and self.exception_name == other.exception_name
+            and self.scope is other.scope
+            and self.error_name == other.error_name
+        )
+
+    # -- the indirect channel ----------------------------------------------
+    def serialize(self) -> bytes:
+        """Encode for the scratch-directory file the starter reads."""
+        lines = [f"status={self.status.value}"]
+        if self.status is ResultStatus.COMPLETED:
+            lines.append(f"exit_code={self.exit_code}")
+        elif self.status is ResultStatus.EXCEPTION:
+            lines.append(f"exception={self.exception_name}")
+            if self.detail:
+                lines.append(f"detail={self.detail}")
+        else:
+            lines.append(f"scope={self.scope.name}")
+            lines.append(f"error={self.error_name}")
+            if self.detail:
+                lines.append(f"detail={self.detail}")
+        return ("\n".join(lines) + "\n").encode()
+
+    @classmethod
+    def parse(cls, data: bytes) -> "ResultFile":
+        """Decode a serialized result file.
+
+        Raises :class:`ValueError` on malformed input -- a corrupt result
+        file must surface as an error, never as a silently-wrong result.
+        """
+        fields: dict[str, str] = {}
+        for line in data.decode(errors="strict").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if "=" not in line:
+                raise ValueError(f"malformed result-file line {line!r}")
+            key, _, value = line.partition("=")
+            fields[key] = value
+        try:
+            status = ResultStatus(fields["status"])
+        except (KeyError, ValueError) as exc:
+            raise ValueError(f"missing or bad status in result file: {fields}") from exc
+        if status is ResultStatus.COMPLETED:
+            return cls.completed(int(fields.get("exit_code", "0")))
+        if status is ResultStatus.EXCEPTION:
+            return cls.exception(fields.get("exception", ""), fields.get("detail", ""))
+        try:
+            scope = ErrorScope[fields["scope"]]
+        except KeyError as exc:
+            raise ValueError(f"missing or bad scope in result file: {fields}") from exc
+        return cls.environment(scope, fields.get("error", ""), fields.get("detail", ""))
+
+    def __str__(self) -> str:
+        if self.status is ResultStatus.COMPLETED:
+            return f"completed(exit={self.exit_code})"
+        if self.status is ResultStatus.EXCEPTION:
+            return f"exception({self.exception_name})"
+        return f"environment({self.error_name}@{self.scope})"

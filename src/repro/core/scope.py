@@ -1,0 +1,140 @@
+"""The error-scope abstraction (paper §3.3).
+
+    "The scope of an error is the portion of a system which it
+    invalidates."
+
+Scopes form a total order by containment: an error of a wider scope
+invalidates everything a narrower one does and more.  The order used here
+merges the paper's generic examples (file < function < process < cluster)
+with the Java Universe scopes of Figure 3 (program < virtual machine <
+remote resource < local resource < job), positioned according to the
+portion of the system each invalidates:
+
+- ``FILE`` -- one named file cannot be used (``FileNotFound``);
+- ``FUNCTION`` -- one function invocation is invalid;
+- ``PROGRAM`` -- the user program's own execution is invalid: its
+  exceptions and exit codes are *results* that belong to the user;
+- ``PROCESS`` -- the mechanism of function call within a process has
+  broken (a failed RPC has process scope, §3.3);
+- ``VIRTUAL_MACHINE`` -- the JVM's current conditions are invalid
+  (``OutOfMemoryError``): the job cannot run *in the current conditions*;
+- ``CLUSTER`` -- a whole cluster of cooperating processes is invalid
+  (a PVM node failure, §3.3);
+- ``REMOTE_RESOURCE`` -- the execution site is invalid (misconfigured
+  JVM): the job cannot run *on the given host*;
+- ``LOCAL_RESOURCE`` -- the submission site's resources are invalid
+  (home file system offline): the job cannot run *right now*;
+- ``JOB`` -- the job itself is invalid (corrupt program image): it can
+  never run anywhere;
+- ``POOL`` -- the whole pool is invalid (matchmaker gone).
+
+Per the schedd's "last line of defense" (paper §4): PROGRAM scope means
+the job is complete; JOB scope means the job is unexecutable; anything in
+between is logged and the job is retried at a new site.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ErrorScope", "JAVA_UNIVERSE_CHAIN", "GENERIC_CHAIN"]
+
+
+class ErrorScope(enum.IntEnum):
+    """Total order of scopes; larger values invalidate more of the system."""
+
+    FILE = 10
+    FUNCTION = 20
+    PROGRAM = 30
+    PROCESS = 40
+    VIRTUAL_MACHINE = 50
+    CLUSTER = 60
+    REMOTE_RESOURCE = 70
+    LOCAL_RESOURCE = 80
+    JOB = 90
+    POOL = 100
+
+    # -- containment ---------------------------------------------------
+    def contains(self, other: "ErrorScope") -> bool:
+        """True if an error of this scope also invalidates *other*'s portion."""
+        return self >= other
+
+    def expand(self, other: "ErrorScope") -> "ErrorScope":
+        """The least scope containing both (join in the containment order).
+
+        Used when an error "gains significance as it travels up through
+        layers of software" (§3.3).
+        """
+        return max(self, other)
+
+    # -- Java Universe semantics (Figure 3 / §4) -----------------------------
+    @property
+    def managing_program(self) -> str:
+        """The program responsible for handling errors of this scope.
+
+        The Figure-3 mapping: each scope has exactly one handler that
+        either masks the error or reports it to the next scope out.
+        """
+        return _MANAGERS[self]
+
+    @property
+    def within_program_contract(self) -> bool:
+        """True if errors of this scope are legitimate *program results*.
+
+        File- and function-scope errors (``FileNotFound``) and the
+        program's own exceptions are results the user wants to see;
+        everything wider is an accident of the environment.
+        """
+        return self <= ErrorScope.PROGRAM
+
+    @property
+    def retry_elsewhere(self) -> bool:
+        """True if the schedd should log the error and try another site.
+
+        "Anything in between causes it to log the error and then attempt
+        to execute the program at a new site." (§4)
+        """
+        return ErrorScope.PROGRAM < self < ErrorScope.JOB
+
+    @property
+    def terminal_for_job(self) -> bool:
+        """True if the schedd must return the job to the user.
+
+        PROGRAM scope (or narrower) -> the job is *complete*;
+        JOB scope (or wider) -> the job is *unexecutable*.
+        """
+        return self <= ErrorScope.PROGRAM or self >= ErrorScope.JOB
+
+    def __str__(self) -> str:
+        return self.name.lower().replace("_", "-")
+
+
+_MANAGERS: dict[ErrorScope, str] = {
+    ErrorScope.FILE: "program",
+    ErrorScope.FUNCTION: "program",
+    ErrorScope.PROGRAM: "wrapper",
+    ErrorScope.PROCESS: "wrapper",
+    ErrorScope.VIRTUAL_MACHINE: "starter",
+    ErrorScope.CLUSTER: "starter",
+    ErrorScope.REMOTE_RESOURCE: "shadow",
+    ErrorScope.LOCAL_RESOURCE: "schedd",
+    ErrorScope.JOB: "schedd",
+    ErrorScope.POOL: "user",
+}
+
+#: The chain of scope managers in the Java Universe, innermost first
+#: (Figure 3): the program runs under the wrapper, inside the JVM, under
+#: the starter (remote resources), served by the shadow (local
+#: resources), on behalf of the schedd (the job), owned by the user.
+JAVA_UNIVERSE_CHAIN: tuple[str, ...] = (
+    "program",
+    "wrapper",
+    "jvm",
+    "starter",
+    "shadow",
+    "schedd",
+    "user",
+)
+
+#: The generic chain of §3.3's examples.
+GENERIC_CHAIN: tuple[str, ...] = ("function", "process", "cluster", "system")

@@ -1,0 +1,94 @@
+"""Time-dependent scope resolution (paper §5).
+
+    "The appropriate response to an error may be unclear if its scope is
+    indeterminate. ... A failure to communicate for one second may be of
+    network scope, but a failure to communicate for a year likely has
+    larger scope.  To distinguish between the two, a system must be given
+    some guidance in the form of timeouts or other resource constraints
+    from the user or administrator."
+
+:class:`TimeScopeEscalator` implements that guidance: it watches repeated
+failures against one target and answers "what scope should we assign this
+failure *now*?", escalating through a user-supplied ladder of
+``(elapsed_seconds, scope)`` rungs as the outage persists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.scope import ErrorScope
+
+__all__ = ["EscalationLadder", "TimeScopeEscalator"]
+
+#: The default ladder: a blip is process scope (retry the call); a
+#: minutes-long outage means the resource is gone (retry elsewhere); an
+#: hours-long outage means this job's whole arrangement is suspect.
+DEFAULT_LADDER: tuple[tuple[float, ErrorScope], ...] = (
+    (0.0, ErrorScope.PROCESS),
+    (60.0, ErrorScope.REMOTE_RESOURCE),
+    (3600.0, ErrorScope.JOB),
+)
+
+
+@dataclass(frozen=True)
+class EscalationLadder:
+    """An ordered sequence of (minimum outage duration, scope) rungs."""
+
+    rungs: tuple[tuple[float, ErrorScope], ...] = DEFAULT_LADDER
+
+    def __post_init__(self) -> None:
+        durations = [d for d, _ in self.rungs]
+        if not durations or durations[0] != 0.0:
+            raise ValueError("ladder must start at duration 0.0")
+        if durations != sorted(durations):
+            raise ValueError("ladder durations must be non-decreasing")
+        scopes = [s for _, s in self.rungs]
+        if scopes != sorted(scopes):
+            raise ValueError("ladder scopes must widen monotonically")
+
+    def scope_for(self, outage_duration: float) -> ErrorScope:
+        """The scope assigned to a failure *outage_duration* seconds in."""
+        chosen = self.rungs[0][1]
+        for min_duration, scope in self.rungs:
+            if outage_duration >= min_duration:
+                chosen = scope
+        return chosen
+
+
+@dataclass
+class _TargetState:
+    first_failure: float | None = None
+    failures: int = 0
+
+
+class TimeScopeEscalator:
+    """Tracks failures per target and assigns time-escalated scopes."""
+
+    def __init__(self, ladder: EscalationLadder | None = None):
+        self.ladder = ladder or EscalationLadder()
+        self._targets: dict[str, _TargetState] = {}
+
+    def record_failure(self, target: str, now: float) -> ErrorScope:
+        """One more failure against *target* at time *now*; returns the
+        scope the failure should currently be assigned."""
+        state = self._targets.setdefault(target, _TargetState())
+        if state.first_failure is None:
+            state.first_failure = now
+        state.failures += 1
+        return self.ladder.scope_for(now - state.first_failure)
+
+    def record_success(self, target: str) -> None:
+        """Contact restored: the outage clock for *target* resets."""
+        self._targets.pop(target, None)
+
+    def outage_duration(self, target: str, now: float) -> float:
+        """Seconds since *target* first started failing (0 if healthy)."""
+        state = self._targets.get(target)
+        if state is None or state.first_failure is None:
+            return 0.0
+        return now - state.first_failure
+
+    def failures(self, target: str) -> int:
+        state = self._targets.get(target)
+        return state.failures if state else 0

@@ -1,0 +1,16 @@
+"""The end-to-end layer: a process above Condor (paper §5).
+
+    "The end-to-end principle tells us that the ultimate responsibility
+    for detecting such errors lies with a higher level of software.  A
+    process above Condor may work on behalf of the user to analyze
+    outputs and replicate or resubmit jobs that fail due to implicit
+    errors or failures in Condor itself."
+
+- :mod:`repro.e2e.validator` -- per-job output expectations;
+- :mod:`repro.e2e.manager` -- the submit-validate-resubmit loop.
+"""
+
+from repro.e2e.manager import EndToEndManager, JobLineage
+from repro.e2e.validator import JobValidation, OutputExpectation
+
+__all__ = ["EndToEndManager", "JobLineage", "JobValidation", "OutputExpectation"]

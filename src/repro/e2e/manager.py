@@ -1,0 +1,129 @@
+"""The submit-validate-resubmit loop above Condor (paper §5).
+
+The manager submits jobs with validations attached, waits for the pool
+to finish, analyzes the outputs at home, and resubmits any job whose
+outputs betray an implicit error -- the only defense against failures
+that arrive disguised as success.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.condor.job import Job, JobState, ProgramImage
+from repro.e2e.validator import JobValidation
+
+__all__ = ["EndToEndManager", "JobLineage"]
+
+
+@dataclass
+class JobLineage:
+    """One logical job and all its physical submissions."""
+
+    validation: JobValidation
+    submissions: list[Job] = field(default_factory=list)
+    problems_seen: list[str] = field(default_factory=list)
+    accepted: Job | None = None
+
+    @property
+    def base(self) -> Job:
+        return self.submissions[0]
+
+    @property
+    def resubmits(self) -> int:
+        return len(self.submissions) - 1
+
+    @property
+    def valid(self) -> bool:
+        return self.accepted is not None
+
+
+class EndToEndManager:
+    """A user agent running above one pool."""
+
+    def __init__(self, pool, max_resubmits: int = 3):
+        self.pool = pool
+        self.max_resubmits = max_resubmits
+        self.lineages: list[JobLineage] = []
+        self.validations_run = 0
+
+    # -- intake --------------------------------------------------------
+    def submit(self, job: Job, validation: JobValidation) -> JobLineage:
+        """Submit *job* with its validation attached."""
+        lineage = JobLineage(validation=validation, submissions=[job])
+        self.lineages.append(lineage)
+        self.pool.submit(job)
+        return lineage
+
+    # -- the loop ---------------------------------------------------------
+    def run(self, max_time_per_round: float = 100_000.0) -> None:
+        """Drive the pool, validating and resubmitting until every lineage
+        is accepted or out of resubmit budget."""
+        for _round in range(self.max_resubmits + 1):
+            self.pool.run_until_done(
+                max_time=self.pool.sim.now + max_time_per_round,
+                expected_jobs=len(self.pool.schedd.jobs) or None,
+            )
+            if not self._validate_round():
+                break
+
+    def _validate_round(self) -> bool:
+        """Validate unaccepted lineages; resubmit invalid ones.
+
+        Returns True if anything was resubmitted (another round needed).
+        """
+        resubmitted = False
+        for lineage in self.lineages:
+            if lineage.valid:
+                continue
+            current = lineage.submissions[-1]
+            if not current.is_terminal:
+                continue
+            self.validations_run += 1
+            problems = lineage.validation.validate(current, self.pool.home_fs)
+            if not problems:
+                lineage.accepted = current
+                continue
+            lineage.problems_seen.extend(problems)
+            if lineage.resubmits >= self.max_resubmits:
+                continue  # budget exhausted; lineage stays invalid
+            clone = self._clone(current, attempt=lineage.resubmits + 1)
+            lineage.submissions.append(clone)
+            self.pool.submit(clone)
+            resubmitted = True
+        return resubmitted
+
+    @staticmethod
+    def _clone(job: Job, attempt: int) -> Job:
+        """A fresh submission of the same work (new id, clean history)."""
+        clone = Job(
+            job_id=f"{job.job_id}r{attempt}",
+            owner=job.owner,
+            universe=job.universe,
+            image=ProgramImage(
+                name=job.image.name,
+                content=job.image.content,
+                program=job.image.program,
+                corrupt=job.image.corrupt,
+            ),
+            input_files=dict(job.input_files),
+            requirements=job.requirements,
+            rank=job.rank,
+            image_size=job.image_size,
+            heap_request=job.heap_request,
+        )
+        clone.expected_result = job.expected_result
+        return clone
+
+    # -- reporting -----------------------------------------------------------
+    def summary(self) -> dict[str, int]:
+        """Counts for the EXP-E2E table."""
+        return {
+            "lineages": len(self.lineages),
+            "valid": sum(1 for lin in self.lineages if lin.valid),
+            "invalid": sum(1 for lin in self.lineages if not lin.valid),
+            "resubmits": sum(lin.resubmits for lin in self.lineages),
+            "implicit_errors_caught": sum(
+                1 for lin in self.lineages if lin.problems_seen
+            ),
+        }

@@ -1,0 +1,65 @@
+"""Output validation: what a correct run should have left behind.
+
+Condor itself "has little recourse for discovering such errors in
+applications unless it knows a priori the structure of a job or its valid
+inputs and outputs" (§5) -- this module is that a-priori knowledge,
+supplied by the user to the layer above Condor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.filesystem import FsError, LocalFileSystem
+
+__all__ = ["JobValidation", "OutputExpectation"]
+
+
+@dataclass(frozen=True)
+class OutputExpectation:
+    """One output file and the bytes a correct run produces there."""
+
+    path: str
+    expected_data: bytes
+
+    def check(self, home_fs: LocalFileSystem) -> str | None:
+        """None if satisfied; otherwise a human-readable discrepancy."""
+        try:
+            actual = home_fs.read_file(self.path)
+        except FsError as exc:
+            return f"{self.path}: missing ({exc.code})"
+        if actual != self.expected_data:
+            return f"{self.path}: content mismatch ({len(actual)} bytes)"
+        return None
+
+
+@dataclass
+class JobValidation:
+    """Everything the end-to-end layer checks for one job."""
+
+    expectations: list[OutputExpectation] = field(default_factory=list)
+    #: Expected delivered result (a ResultFile compared with
+    #: ``same_outcome``); None = any program result is acceptable.
+    expected_result: object = None
+
+    def validate(self, job, home_fs: LocalFileSystem) -> list[str]:
+        """All discrepancies for *job*'s outcome; empty means valid."""
+        problems: list[str] = []
+        from repro.condor.job import JobState
+
+        if job.state is not JobState.COMPLETED:
+            problems.append(f"job not completed: {job.state.value} ({job.hold_reason})")
+            return problems
+        if self.expected_result is not None:
+            if job.final_result is None or not job.final_result.same_outcome(
+                self.expected_result
+            ):
+                problems.append(
+                    f"result mismatch: delivered {job.final_result}, "
+                    f"expected {self.expected_result}"
+                )
+        for expectation in self.expectations:
+            problem = expectation.check(home_fs)
+            if problem is not None:
+                problems.append(problem)
+        return problems

@@ -1,0 +1,47 @@
+"""Fault injection.
+
+Faults here are the paper's faults -- "violations of a system's underlying
+assumptions" (§3.1) -- applied to the simulated substrate: misconfigured
+Java installations, offline file systems, expired credentials, corrupt
+images, partitions, crashes.  The injector records ground truth (which
+fault was active where and when) so the principle auditor can compare
+what the system *told the user* against what *actually happened* -- the
+comparison that detects Principle-1 violations.
+"""
+
+from repro.faults.faults import (
+    BlackHole,
+    CorruptProgramImage,
+    CredentialExpiry,
+    Fault,
+    HomeDiskFull,
+    HomeFilesystemOffline,
+    JvmBinaryMissing,
+    MachineCrash,
+    MemoryPressure,
+    MisconfiguredJvm,
+    MissingInputFile,
+    NetworkPartition,
+    OwnerActivity,
+    ScratchDiskFull,
+)
+from repro.faults.injector import FaultInjector, Injection
+
+__all__ = [
+    "BlackHole",
+    "CorruptProgramImage",
+    "CredentialExpiry",
+    "Fault",
+    "FaultInjector",
+    "HomeDiskFull",
+    "HomeFilesystemOffline",
+    "Injection",
+    "JvmBinaryMissing",
+    "MachineCrash",
+    "MemoryPressure",
+    "MisconfiguredJvm",
+    "MissingInputFile",
+    "NetworkPartition",
+    "OwnerActivity",
+    "ScratchDiskFull",
+]

@@ -1,0 +1,25 @@
+"""Workloads, metrics, and the per-figure experiment runners.
+
+- :mod:`repro.harness.workloads` -- job-stream generators with known
+  expected results (the auditor's ground truth);
+- :mod:`repro.harness.metrics` -- the quantities the paper's narrative
+  claims are about: user-visible incidental errors, postmortems, wasted
+  executions, goodput;
+- :mod:`repro.harness.report` -- ASCII tables for benches and
+  EXPERIMENTS.md;
+- :mod:`repro.harness.experiments` -- one named runner per paper figure
+  and claim (see DESIGN.md §4 for the index).
+"""
+
+from repro.harness.metrics import RunMetrics, collect_metrics
+from repro.harness.report import Table
+from repro.harness.workloads import WorkloadSpec, expected_result_for, make_workload
+
+__all__ = [
+    "RunMetrics",
+    "Table",
+    "WorkloadSpec",
+    "collect_metrics",
+    "expected_result_for",
+    "make_workload",
+]

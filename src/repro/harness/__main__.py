@@ -1,0 +1,72 @@
+"""Command-line runner for the experiments: ``python -m repro.harness``.
+
+Examples::
+
+    python -m repro.harness --list
+    python -m repro.harness fig4
+    python -m repro.harness naive_vs_scoped --seed 3
+    python -m repro.harness all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import experiments as E
+
+#: name -> (callable accepting seed kwarg?, takes_seed)
+EXPERIMENTS: dict[str, tuple] = {
+    "fig1": (E.run_fig1_kernel, True),
+    "fig2": (E.run_fig2_java_universe, True),
+    "fig3": (E.run_fig3_scopes, True),
+    "fig4": (E.run_fig4_result_codes, False),
+    "naive_vs_scoped": (E.run_naive_vs_scoped, True),
+    "black_hole": (E.run_black_hole, True),
+    "nfs_mounts": (E.run_nfs_mounts, False),
+    "time_scope": (E.run_time_scope, False),
+    "principles": (E.run_principles, True),
+    "end_to_end": (E.run_end_to_end, True),
+    "checkpointing": (E.run_checkpoint_ablation, True),
+    "fair_share": (E.run_fair_share, True),
+    "preemption": (E.run_preemption, True),
+    "retry_sweep": (E.run_retry_sweep, True),
+}
+
+
+def run_experiment(name: str, seed: int = 0) -> str:
+    """Run one named experiment and return its rendered table."""
+    try:
+        fn, takes_seed = EXPERIMENTS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {name!r}; try one of: {', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+    result = fn(seed=seed) if takes_seed else fn()
+    return result.table().render()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Run the paper-reproduction experiments.",
+    )
+    parser.add_argument("experiment", nargs="?",
+                        help="experiment name, or 'all'")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+    if args.list or not args.experiment:
+        print("experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(run_experiment(name, seed=args.seed))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

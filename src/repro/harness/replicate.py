@@ -1,0 +1,79 @@
+"""Seed replication: run an experiment across seeds, report mean +/- std.
+
+Single-seed results can flatter or slander a design; the experiments in
+EXPERIMENTS.md assert *shapes*, and this module checks those shapes hold
+across seeds, numpy doing the aggregation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.harness.report import Table
+
+__all__ = ["Replication", "replicate"]
+
+
+@dataclass
+class Replication:
+    """Aggregated metric samples across seeds."""
+
+    seeds: list[int]
+    samples: dict[str, np.ndarray]  # metric name -> per-seed values
+
+    def mean(self, metric: str) -> float:
+        return float(self.samples[metric].mean())
+
+    def std(self, metric: str) -> float:
+        return float(self.samples[metric].std(ddof=1)) if len(self.seeds) > 1 else 0.0
+
+    def min(self, metric: str) -> float:
+        return float(self.samples[metric].min())
+
+    def max(self, metric: str) -> float:
+        return float(self.samples[metric].max())
+
+    def always(self, predicate: Callable[[dict[str, float]], bool]) -> bool:
+        """Does *predicate* hold for every individual seed's sample row?"""
+        for i in range(len(self.seeds)):
+            row = {name: float(vals[i]) for name, vals in self.samples.items()}
+            if not predicate(row):
+                return False
+        return True
+
+    def table(self, title: str = "replication") -> Table:
+        table = Table(
+            ["metric", "mean", "std", "min", "max"],
+            title=f"{title} (n={len(self.seeds)} seeds)",
+        )
+        for metric in self.samples:
+            table.add_row([
+                metric,
+                round(self.mean(metric), 3),
+                round(self.std(metric), 3),
+                round(self.min(metric), 3),
+                round(self.max(metric), 3),
+            ])
+        return table
+
+
+def replicate(
+    run: Callable[[int], dict[str, float]],
+    seeds: list[int] | range,
+) -> Replication:
+    """Run *run(seed)* for each seed; *run* returns metric-name -> value."""
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    rows = [run(seed) for seed in seeds]
+    names = list(rows[0])
+    for row in rows:
+        if list(row) != names:
+            raise ValueError("every run must report the same metrics")
+    samples = {
+        name: np.array([row[name] for row in rows], dtype=float) for name in names
+    }
+    return Replication(seeds=seeds, samples=samples)

@@ -1,0 +1,30 @@
+"""A simulated Java Virtual Machine (paper §2.2, Figure 2).
+
+The JVM is simulated at exactly the fidelity the paper's argument needs:
+its exit-code semantics (Figure 4), its throwable hierarchy, its startup
+dependence on the machine owner's installation description, and its
+memory accounting -- because those are the mechanisms through which
+environmental errors masquerade as program results.
+
+- :mod:`repro.jvm.throwables` -- the Java throwable tree;
+- :mod:`repro.jvm.program` -- a behavioural model of user programs;
+- :mod:`repro.jvm.machine` -- the JVM itself, run as a simulated OS
+  process with Figure-4 exit codes;
+- :mod:`repro.jvm.wrapper` -- the Condor Java wrapper of §4.
+"""
+
+from repro.jvm.machine import Jvm, JvmExecError
+from repro.jvm.program import JavaProgram, Step
+from repro.jvm.throwables import JError, JException, Throwable
+from repro.jvm.wrapper import run_wrapped
+
+__all__ = [
+    "JavaProgram",
+    "JError",
+    "JException",
+    "Jvm",
+    "JvmExecError",
+    "Step",
+    "Throwable",
+    "run_wrapped",
+]

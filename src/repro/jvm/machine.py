@@ -1,0 +1,187 @@
+"""The simulated Java Virtual Machine.
+
+The JVM runs as a simulated OS process on an execution machine and
+reproduces the exit-code semantics of Figure 4:
+
+====================================================  ===========
+Execution detail                                      Result code
+====================================================  ===========
+The program exited by completing main.                0
+The program exited by calling System.exit(x)          x
+Uncaught exception (any kind, any scope)              1
+====================================================  ===========
+
+The code is deliberately lossy -- "a result of 1 could indicate a normal
+program exit, an exit with an exception, or an error in the surrounding
+environment" -- because that lossiness is the paper's Figure-4 problem.
+The wrapper (:mod:`repro.jvm.wrapper`) recovers the lost information
+through the result file.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.result import ResultFile
+from repro.jvm.program import ExitCalled, JavaProgram
+from repro.jvm.throwables import (
+    JNoClassDefFoundError,
+    JOutOfMemoryError,
+    Throwable,
+)
+from repro.sim.engine import Simulator
+from repro.sim.machine import JavaInstallation, Machine, MemoryError_
+from repro.sim.process import ProcessExit
+
+__all__ = ["Jvm", "JvmExecError"]
+
+
+class JvmExecError(Exception):
+    """exec(2) of the java binary failed -- there is no JVM process at all.
+
+    The *starter* discovers this (remote-resource scope): the machine
+    owner "might give an incorrect path" to the binary itself.
+    """
+
+
+class Jvm:
+    """One JVM invocation on one machine."""
+
+    #: Physical footprint of the JVM itself (code, metaspace, stacks).
+    BASE_FOOTPRINT = 4 * 2**20
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        installation: JavaInstallation | None = None,
+    ):
+        self.sim = sim
+        self.machine = machine
+        self.installation = installation or machine.java
+        self.heap_limit = 0
+        self.heap_used = 0
+        self._reserved = 0
+
+    # -- services used by program steps -------------------------------------
+    def compute(self, cpu_seconds: float):
+        """Generator: burn *cpu_seconds* of normalized work on this machine."""
+        yield self.sim.timeout(self.machine.cpu_time(cpu_seconds))
+
+    def heap_alloc(self, nbytes: int) -> None:
+        """Allocate from the JVM heap; raises :class:`JOutOfMemoryError`.
+
+        The heap grows lazily against *physical* machine memory, so
+        pressure from other tenants surfaces here, during execution --
+        where the wrapper can catch it -- not at boot.
+        """
+        if self.heap_used + nbytes > self.heap_limit:
+            raise JOutOfMemoryError(
+                f"requested {nbytes}, heap {self.heap_used}/{self.heap_limit}"
+            )
+        try:
+            self.machine.alloc(nbytes)
+        except MemoryError_ as exc:
+            raise JOutOfMemoryError(f"machine out of memory: {exc}") from exc
+        self.heap_used += nbytes
+        self._reserved += nbytes
+
+    def heap_free(self, nbytes: int) -> None:
+        nbytes = min(nbytes, self.heap_used)
+        self.heap_used -= nbytes
+        self.machine.free(nbytes)
+        self._reserved -= nbytes
+
+    # -- lifecycle -----------------------------------------------------------
+    def check_exec(self) -> None:
+        """The starter's exec of the java binary; raises :class:`JvmExecError`."""
+        if not self.installation.binary_ok:
+            raise JvmExecError(f"no such binary {self.installation.java_binary!r}")
+
+    def _boot(self, heap_request: int):
+        """JVM startup: verify installation, reserve physical memory.
+
+        Raises the throwable the real JVM would die with.  Generator (the
+        startup consumes a moment of simulated time).
+        """
+        yield self.sim.timeout(0.1 / self.machine.cpu_speed)
+        if not self.installation.classpath_ok:
+            # The owner pointed at the wrong standard libraries (§2.3).
+            raise JNoClassDefFoundError(
+                f"java/lang/Object not found under {self.installation.classpath!r}"
+            )
+        try:
+            self.machine.alloc(self.BASE_FOOTPRINT)
+        except MemoryError_ as exc:
+            raise JOutOfMemoryError(f"cannot start VM: {exc}") from exc
+        self._reserved = self.BASE_FOOTPRINT
+        self.heap_limit = min(heap_request, self.installation.heap_limit)
+
+    def _shutdown(self) -> None:
+        if self._reserved:
+            self.machine.free(self._reserved)
+            self._reserved = 0
+
+    # -- execution modes ---------------------------------------------------------
+    def run_bare(
+        self,
+        image,
+        program: JavaProgram,
+        io,
+        heap_request: int,
+        start_at: int = 0,
+        on_step=None,
+    ):
+        """Process body: run *program* directly, Figure-4 exit codes only.
+
+        This is the naive §2.3 configuration: "we relied entirely on the
+        exit code of the JVM as an indicator of program success."
+        *start_at*/*on_step* support the Standard Universe's
+        checkpoint-resume (see :meth:`JavaProgram.execute`).
+        """
+        try:
+            yield from self._boot(heap_request)
+        except Throwable:
+            raise ProcessExit(1)  # the JVM prints a stack trace and dies
+        try:
+            if image.corrupt:
+                # Class loader rejects the image; uncaught -> exit 1.
+                raise ProcessExit(1)
+            try:
+                yield from program.execute(self, io, start_at=start_at, on_step=on_step)
+            except ExitCalled as exit_call:
+                raise ProcessExit(exit_call.code) from None
+            except Throwable:
+                raise ProcessExit(1) from None
+            raise ProcessExit(0)
+        finally:
+            self._shutdown()
+
+    def run_wrapped(
+        self,
+        image,
+        program: JavaProgram,
+        io,
+        heap_request: int,
+        classifier,
+        result_sink: Callable[[bytes], None],
+    ):
+        """Process body: run *program* under the Condor wrapper (§4).
+
+        The wrapper itself is Java code: if the JVM cannot boot, the
+        wrapper never runs and **no result file appears** -- exactly how
+        the real system distinguishes "the environment broke before user
+        code" from everything else.
+        """
+        try:
+            yield from self._boot(heap_request)
+        except Throwable:
+            raise ProcessExit(1)  # no result file: the starter will notice
+        try:
+            from repro.jvm.wrapper import run_wrapped
+
+            result: ResultFile = yield from run_wrapped(self, image, program, io, classifier)
+            result_sink(result.serialize())
+            raise ProcessExit(0)
+        finally:
+            self._shutdown()

@@ -1,0 +1,161 @@
+"""A behavioural model of user Java programs.
+
+A :class:`JavaProgram` is a list of :class:`Step` objects executed in
+order.  Steps may compute (consuming simulated CPU time), allocate heap,
+perform remote I/O through the supplied I/O library, throw, or call
+``System.exit``.  The program may declare exception names it catches
+(``handles``); a handled exception is recorded and execution continues
+with the next step, exactly like a ``try { step } catch (Named e)`` per
+statement.  ``JError`` subclasses are never caught by programs --
+"program code does not catch Errors" is the convention the fixed I/O
+library (§4) relies on to escape.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.jvm.throwables import JError, Throwable, throwable_by_name
+
+__all__ = ["ExitCalled", "JavaProgram", "Step", "StepKind"]
+
+
+class StepKind(enum.Enum):
+    COMPUTE = "compute"
+    ALLOCATE = "allocate"
+    FREE = "free"
+    READ = "read"
+    WRITE = "write"
+    TRANSFORM = "transform"  # read src, write f(src bytes) to dst
+    THROW = "throw"
+    EXIT = "exit"
+
+
+def transform_bytes(data: bytes) -> bytes:
+    """The canonical transformation used by TRANSFORM steps: reversal.
+
+    Deterministic and sensitive to every byte, so any silent corruption
+    of the input is visible in the output -- which is what lets the
+    end-to-end layer detect implicit errors.
+    """
+    return data[::-1]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One statement of the modelled program."""
+
+    kind: StepKind
+    #: COMPUTE: cpu-seconds; ALLOCATE/FREE: bytes; READ/WRITE: path;
+    #: THROW: java exception name; EXIT: code.
+    arg: Any = None
+    data: bytes = b""  # WRITE payload
+
+    # -- constructors ----------------------------------------------------
+    @staticmethod
+    def compute(cpu_seconds: float) -> "Step":
+        return Step(StepKind.COMPUTE, cpu_seconds)
+
+    @staticmethod
+    def allocate(nbytes: int) -> "Step":
+        return Step(StepKind.ALLOCATE, nbytes)
+
+    @staticmethod
+    def free(nbytes: int) -> "Step":
+        return Step(StepKind.FREE, nbytes)
+
+    @staticmethod
+    def read(path: str) -> "Step":
+        return Step(StepKind.READ, path)
+
+    @staticmethod
+    def write(path: str, data: bytes) -> "Step":
+        return Step(StepKind.WRITE, path, data)
+
+    @staticmethod
+    def transform(src: str, dst: str) -> "Step":
+        """Read *src*, write :func:`transform_bytes` of it to *dst*."""
+        return Step(StepKind.TRANSFORM, (src, dst))
+
+    @staticmethod
+    def throw(java_name: str) -> "Step":
+        return Step(StepKind.THROW, java_name)
+
+    @staticmethod
+    def exit(code: int) -> "Step":
+        return Step(StepKind.EXIT, code)
+
+
+class ExitCalled(Exception):
+    """Internal signal: the program called ``System.exit(code)``."""
+
+    def __init__(self, code: int):
+        super().__init__(f"System.exit({code})")
+        self.code = code
+
+
+@dataclass
+class JavaProgram:
+    """The user's program: steps plus the exceptions it catches."""
+
+    name: str = "Main"
+    steps: list[Step] = field(default_factory=list)
+    handles: set[str] = field(default_factory=set)
+
+    def execute(self, jvm, io, start_at: int = 0, on_step=None) -> Any:
+        """Run the program inside *jvm* with I/O library *io* (generator).
+
+        Returns the list of handled exceptions on normal completion.
+        Raises :class:`ExitCalled` for ``System.exit``, or any uncaught
+        :class:`Throwable`.
+
+        *start_at* resumes from a checkpoint: the first *start_at* steps
+        are skipped, but their net heap effect is restored first (a
+        checkpoint restores the memory image).  *on_step(index)* is
+        called after each completed step -- the hook the Standard
+        Universe's checkpointing rides on.
+        """
+        handled: list[Throwable] = []
+        if start_at > 0:
+            net_heap = 0
+            for step in self.steps[:start_at]:
+                if step.kind is StepKind.ALLOCATE:
+                    net_heap += step.arg
+                elif step.kind is StepKind.FREE:
+                    net_heap -= step.arg
+            if net_heap > 0:
+                jvm.heap_alloc(net_heap)
+        for index, step in enumerate(self.steps[start_at:], start=start_at):
+            try:
+                if step.kind is StepKind.COMPUTE:
+                    yield from jvm.compute(step.arg)
+                elif step.kind is StepKind.ALLOCATE:
+                    jvm.heap_alloc(step.arg)
+                elif step.kind is StepKind.FREE:
+                    jvm.heap_free(step.arg)
+                elif step.kind is StepKind.READ:
+                    yield from io.read_file(step.arg)
+                elif step.kind is StepKind.WRITE:
+                    yield from io.write_file(step.arg, step.data)
+                elif step.kind is StepKind.TRANSFORM:
+                    src, dst = step.arg
+                    data = yield from io.read_file(src)
+                    yield from io.write_file(dst, transform_bytes(data))
+                elif step.kind is StepKind.THROW:
+                    raise throwable_by_name(step.arg, f"thrown by {self.name}")
+                elif step.kind is StepKind.EXIT:
+                    raise ExitCalled(step.arg)
+            except Throwable as exc:
+                if isinstance(exc, JError):
+                    raise  # programs do not catch Errors
+                if exc.java_name in self.handles:
+                    handled.append(exc)
+                    if on_step is not None:
+                        on_step(index + 1)
+                    continue
+                raise
+            if on_step is not None:
+                on_step(index + 1)
+        return handled

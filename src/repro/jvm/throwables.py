@@ -1,0 +1,207 @@
+"""The simulated Java throwable hierarchy.
+
+Python exceptions standing in for Java's, with the structure the paper's
+argument leans on:
+
+- ``Throwable`` splits into ``JError`` ("serious problems that a
+  reasonable application should not try to catch") and ``JException``;
+- the I/O library's explicit errors are ``JIOException`` subclasses;
+- the *escaping* errors the fixed library raises (§4: "modified the I/O
+  library to send an escaping error (a Java Error) to the program
+  wrapper") are ``JError`` subclasses carrying a scope hint.
+
+Class names carry a ``J`` prefix to avoid colliding with Python builtins;
+``java_name`` is the name the wrapper's classifier sees.
+"""
+
+from __future__ import annotations
+
+from repro.core.scope import ErrorScope
+
+__all__ = [
+    "JAccessDeniedException",
+    "JArithmeticException",
+    "JArrayIndexOutOfBoundsException",
+    "JChirpConnectionLostError",
+    "JClassCastException",
+    "JClassFormatError",
+    "JConnectionTimedOutException",
+    "JCredentialExpiredError",
+    "JDiskFullException",
+    "JEOFException",
+    "JError",
+    "JException",
+    "JFileNotFoundException",
+    "JIOException",
+    "JIllegalArgumentException",
+    "JInternalError",
+    "JNoClassDefFoundError",
+    "JNoSuchMethodError",
+    "JNullPointerException",
+    "JOutOfMemoryError",
+    "JRemoteIoUnavailableError",
+    "JRuntimeException",
+    "JStackOverflowError",
+    "JVirtualMachineError",
+    "Throwable",
+    "throwable_by_name",
+]
+
+
+class Throwable(Exception):
+    """Root of the simulated Java throwable tree."""
+
+    java_name = "Throwable"
+
+    def __init__(self, message: str = ""):
+        super().__init__(message or self.java_name)
+        self.message = message
+
+
+class JException(Throwable):
+    """java.lang.Exception: conditions an application might catch."""
+
+    java_name = "Exception"
+
+
+class JError(Throwable):
+    """java.lang.Error: conditions applications do not catch.
+
+    The fixed I/O library's escaping errors are subclasses with a
+    ``scope_hint`` the wrapper may consult directly.
+    """
+
+    java_name = "Error"
+    scope_hint: ErrorScope | None = None
+
+
+# -- program-scope exceptions ------------------------------------------------
+
+class JRuntimeException(JException):
+    java_name = "RuntimeException"
+
+
+class JNullPointerException(JRuntimeException):
+    java_name = "NullPointerException"
+
+
+class JArrayIndexOutOfBoundsException(JRuntimeException):
+    java_name = "ArrayIndexOutOfBoundsException"
+
+
+class JArithmeticException(JRuntimeException):
+    java_name = "ArithmeticException"
+
+
+class JClassCastException(JRuntimeException):
+    java_name = "ClassCastException"
+
+
+class JIllegalArgumentException(JRuntimeException):
+    java_name = "IllegalArgumentException"
+
+
+# -- the I/O exception tree (§3.4's "innocuous interface fragment") -------------
+
+class JIOException(JException):
+    java_name = "IOException"
+
+
+class JFileNotFoundException(JIOException):
+    java_name = "FileNotFoundException"
+
+
+class JAccessDeniedException(JIOException):
+    java_name = "AccessDeniedException"
+
+
+class JEOFException(JIOException):
+    java_name = "EOFException"
+
+
+class JDiskFullException(JIOException):
+    java_name = "DiskFullException"
+
+
+class JConnectionTimedOutException(JIOException):
+    """The naive library's infamous smuggled environmental error (§2.3)."""
+
+    java_name = "ConnectionTimedOutException"
+
+
+# -- virtual machine errors ---------------------------------------------------
+
+class JVirtualMachineError(JError):
+    java_name = "VirtualMachineError"
+    scope_hint = ErrorScope.VIRTUAL_MACHINE
+
+
+class JOutOfMemoryError(JVirtualMachineError):
+    java_name = "OutOfMemoryError"
+
+
+class JStackOverflowError(JVirtualMachineError):
+    java_name = "StackOverflowError"
+
+
+class JInternalError(JVirtualMachineError):
+    java_name = "InternalError"
+
+
+# -- linkage errors (installation / image problems) ---------------------------
+
+class JNoClassDefFoundError(JError):
+    java_name = "NoClassDefFoundError"
+    scope_hint = ErrorScope.REMOTE_RESOURCE
+
+
+class JClassFormatError(JError):
+    java_name = "ClassFormatError"
+    scope_hint = ErrorScope.JOB
+
+
+class JNoSuchMethodError(JError):
+    java_name = "NoSuchMethodError"
+    scope_hint = ErrorScope.JOB
+
+
+# -- the fixed library's escaping errors (§4) ---------------------------------
+
+class JRemoteIoUnavailableError(JError):
+    java_name = "RemoteIoUnavailableError"
+    scope_hint = ErrorScope.LOCAL_RESOURCE
+
+
+class JCredentialExpiredError(JError):
+    java_name = "CredentialExpiredError"
+    scope_hint = ErrorScope.LOCAL_RESOURCE
+
+
+class JChirpConnectionLostError(JError):
+    java_name = "ChirpConnectionLostError"
+    scope_hint = ErrorScope.LOCAL_RESOURCE
+
+
+_BY_NAME: dict[str, type[Throwable]] = {}
+
+
+def _index(cls: type[Throwable]) -> None:
+    _BY_NAME[cls.java_name] = cls
+    for sub in cls.__subclasses__():
+        _index(sub)
+
+
+_index(Throwable)
+
+
+def throwable_by_name(java_name: str, message: str = "") -> Throwable:
+    """Instantiate the throwable whose Java name is *java_name*.
+
+    Unknown names produce a plain :class:`JException` subclass instance on
+    the fly -- user programs may throw their own exception types.
+    """
+    cls = _BY_NAME.get(java_name)
+    if cls is not None:
+        return cls(message)
+    custom = type("J" + java_name, (JException,), {"java_name": java_name})
+    return custom(message)

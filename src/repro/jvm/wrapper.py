@@ -1,0 +1,80 @@
+"""The Condor Java wrapper (paper §4).
+
+    "The starter causes the JVM to invoke the wrapper with the actual
+    program as an argument.  The wrapper locates the program, attempts to
+    execute it, and catches any exceptions it may throw.  It examines the
+    exception type, and then produces a result file describing the
+    program result and the scope of any errors discovered."
+
+The wrapper is the fix for Principle 1: instead of letting the JVM
+collapse every outcome into an exit code (creating implicit errors), it
+converts each outcome into an explicit, scope-tagged record.
+"""
+
+from __future__ import annotations
+
+from repro.core.classify import DEFAULT_CLASSIFIER, ExceptionClassifier
+from repro.core.result import ResultFile
+from repro.core.scope import ErrorScope
+from repro.jvm.program import ExitCalled, JavaProgram
+from repro.jvm.throwables import JClassFormatError, JError, Throwable
+
+__all__ = ["classify_throwable", "run_wrapped"]
+
+
+def classify_throwable(
+    exc: Throwable, classifier: ExceptionClassifier | None = None
+) -> tuple[ErrorScope, str]:
+    """The wrapper's examination of an uncaught throwable.
+
+    An escaping :class:`JError` may carry a ``scope_hint`` planted by the
+    layer that raised it (the fixed I/O library does this); otherwise the
+    classification table decides from the Java name.
+    """
+    classifier = classifier or DEFAULT_CLASSIFIER
+    hint = getattr(exc, "scope_hint", None)
+    if hint is not None:
+        return hint, exc.java_name
+    got = classifier.classify("java", exc.java_name)
+    return got.scope, got.canonical
+
+
+def run_wrapped(
+    jvm,
+    image,
+    program: JavaProgram,
+    io,
+    classifier: ExceptionClassifier | None = None,
+):
+    """Generator: execute *program* under the wrapper; returns a ResultFile.
+
+    Never raises a Throwable: every outcome becomes a result file row --
+    that is the wrapper's whole purpose.
+    """
+    classifier = classifier or DEFAULT_CLASSIFIER
+    # "The wrapper locates the program": class loading happens under the
+    # wrapper's control, so a corrupt image is caught and scoped (JOB),
+    # unlike the bare JVM where it is one more anonymous exit(1).
+    if image.corrupt:
+        exc = JClassFormatError(f"truncated class file {image.name!r}")
+        scope, name = classify_throwable(exc, classifier)
+        return ResultFile.environment(scope, name, exc.message)
+    try:
+        yield from program.execute(jvm, io)
+    except ExitCalled as exit_call:
+        return ResultFile.completed(exit_call.code)
+    except JError as exc:
+        scope, name = classify_throwable(exc, classifier)
+        if scope.within_program_contract:
+            # A JError the table deems the program's own business --
+            # deliver it as a program result.
+            return ResultFile.exception(name, exc.message)
+        return ResultFile.environment(scope, name, exc.message)
+    except Throwable as exc:
+        scope, name = classify_throwable(exc, classifier)
+        if scope.within_program_contract:
+            # "Users wanted to see program generated errors such as an
+            # ArrayIndexOutOfBoundsException" (§2.3).
+            return ResultFile.exception(name, exc.message)
+        return ResultFile.environment(scope, name, exc.message)
+    return ResultFile.completed(0)

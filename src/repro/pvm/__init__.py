@@ -1,0 +1,17 @@
+"""The PVM universe: parallel jobs and *cluster scope* (paper §3.3).
+
+    "A node failure in PVM has cluster scope.  If one node crashes, then
+    the whole cluster of nodes is obliged to fail. ...  The creator of a
+    PVM cluster is capable of handling an error of cluster scope."
+
+A :class:`PvmProgram` bundles node programs that run concurrently under
+one starter (the cluster's creator, and hence the manager of cluster
+scope).  One node's failure invalidates the whole cluster: the starter
+kills the survivors and reports a cluster-scope error, which the schedd
+retries at a new site -- the node's own exception never masquerades as a
+program result for the cluster.
+"""
+
+from repro.pvm.program import PvmProgram
+
+__all__ = ["PvmProgram"]

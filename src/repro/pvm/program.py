@@ -1,0 +1,31 @@
+"""The PVM cluster program model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.jvm.program import JavaProgram
+
+__all__ = ["PvmProgram"]
+
+
+@dataclass
+class PvmProgram:
+    """A parallel job: one behavioural program per node.
+
+    Nodes run concurrently on the execution machine's slots-worth of
+    resources under a single starter.  The cluster's result is the master
+    node's result (node 0), but only if *every* node completes cleanly --
+    any node failure fails the whole cluster (§3.3).
+    """
+
+    name: str = "pvm-job"
+    nodes: list[JavaProgram] = field(default_factory=list)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a PVM program needs at least one node")

@@ -1,0 +1,24 @@
+"""The shadow's remote I/O channel (paper §2.2).
+
+    "We demonstrate a typical application of the proxy by making use of
+    the standard Condor remote I/O channel to the shadow.  This facility
+    provides UNIX-like file access in the form of remote procedure calls
+    secured by GSI or Kerberos."
+
+- :mod:`repro.remoteio.rpc` -- request/reply messages, credentials, and
+  the client call helper;
+- :mod:`repro.remoteio.server` -- the shadow-side file server over the
+  submit machine's (possibly NFS-mounted) home file system.
+"""
+
+from repro.remoteio.rpc import Credential, RpcClient, RpcReply, RpcRequest
+from repro.remoteio.server import RemoteIoServer, SyncFsAdapter
+
+__all__ = [
+    "Credential",
+    "RemoteIoServer",
+    "RpcClient",
+    "RpcReply",
+    "RpcRequest",
+    "SyncFsAdapter",
+]

@@ -1,0 +1,119 @@
+"""The shadow-side remote I/O file server.
+
+Serves the submit machine's home file system to the starter's proxy.
+The home file system may itself be an NFS mount
+(:class:`repro.sim.filesystem.NfsClient`), in which case the server
+inherits the mount's hard/soft semantics: a hard-mounted outage makes the
+server *block* (the proxy's RPC times out -- indistinguishable from a
+network problem, which is precisely the paper's §5 indeterminate-scope
+observation), while a soft-mounted outage returns an explicit
+``ETIMEDOUT``.
+"""
+
+from __future__ import annotations
+
+from repro.condor.protocols import WireSize
+from repro.remoteio.rpc import RpcReply, RpcRequest
+from repro.sim.engine import Simulator
+from repro.sim.filesystem import FsError, LocalFileSystem
+from repro.sim.network import BrokenConnection, Network
+
+__all__ = ["RemoteIoServer", "SyncFsAdapter"]
+
+
+class SyncFsAdapter:
+    """Adapts a :class:`LocalFileSystem` to the generator API of
+    :class:`~repro.sim.filesystem.NfsClient`, so the server can treat
+    local and NFS-mounted home directories uniformly."""
+
+    def __init__(self, fs: LocalFileSystem):
+        self.fs = fs
+
+    def read_file(self, path: str, deadline=None):
+        return self.fs.read_file(path)
+        yield  # pragma: no cover - makes this a generator function
+
+    def write_file(self, path: str, data: bytes, deadline=None):
+        return self.fs.write_file(path, data)
+        yield  # pragma: no cover
+
+    def stat(self, path: str, deadline=None):
+        return self.fs.stat(path)
+        yield  # pragma: no cover
+
+    def listdir(self, path: str, deadline=None):
+        return self.fs.listdir(path)
+        yield  # pragma: no cover
+
+
+class RemoteIoServer:
+    """The shadow's file server: accepts connections, serves RPCs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        host: str,
+        port: int,
+        home_fs,  # NfsClient or SyncFsAdapter
+        credential_required: bool = True,
+    ):
+        self.sim = sim
+        self.net = net
+        self.host = host
+        self.port = port
+        self.home_fs = home_fs
+        self.credential_required = credential_required
+        self.requests_served = 0
+        self.listener = net.listen(host, port)
+        self._proc = sim.spawn(self._accept_loop(), name=f"ioserver:{host}:{port}")
+        self._proc.defuse()
+
+    def close(self) -> None:
+        self.listener.close()
+        self._proc.interrupt("server shutdown")
+
+    def _accept_loop(self):
+        while True:
+            conn = yield from self.listener.accept()
+            handler = self.sim.spawn(self._serve(conn), name=f"ioserve:{self.host}")
+            handler.defuse()
+
+    def _serve(self, conn):
+        try:
+            while True:
+                request = yield from conn.recv()
+                if not isinstance(request, RpcRequest):
+                    conn.send(RpcReply(ok=False, error="BAD_REQUEST"), size=WireSize.CONTROL)
+                    continue
+                reply = yield from self._dispatch(request)
+                conn.send(reply, size=WireSize.CONTROL + len(reply.data))
+        except BrokenConnection:
+            return  # client went away; nothing to clean up
+
+    def _dispatch(self, request: RpcRequest):
+        """Generator: perform one operation against the home file system."""
+        self.requests_served += 1
+        if self.credential_required:
+            if request.credential is None:
+                return RpcReply(ok=False, error="BAD_CREDENTIAL")
+            if not request.credential.valid_at(self.sim.now):
+                # GSI/Kerberos tickets expire: an error the naive library
+                # smuggles to the program as an IOException (§4).
+                return RpcReply(ok=False, error="CREDENTIAL_EXPIRED")
+        try:
+            if request.op == "read_file":
+                data = yield from self.home_fs.read_file(request.path)
+                return RpcReply(ok=True, data=data)
+            if request.op == "write_file":
+                yield from self.home_fs.write_file(request.path, request.data)
+                return RpcReply(ok=True)
+            if request.op == "stat":
+                yield from self.home_fs.stat(request.path)
+                return RpcReply(ok=True)
+            if request.op == "listdir":
+                listing = yield from self.home_fs.listdir(request.path)
+                return RpcReply(ok=True, listing=tuple(listing))
+            return RpcReply(ok=False, error="BAD_OP")
+        except FsError as exc:
+            return RpcReply(ok=False, error=exc.code)

@@ -1,0 +1,433 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel follows the classic event-queue design: a priority queue of
+``(time, priority, sequence, callback)`` entries, a simulated clock that
+jumps from event to event, and a coroutine process model in which a
+simulated activity is an ordinary Python generator that *yields* the
+events it wants to wait for.
+
+Determinism is a hard requirement for the reproduction (DESIGN.md §6):
+two events scheduled for the same instant fire in the exact order they
+were scheduled (FIFO, via the monotone sequence number), so a given seed
+always produces the identical trace.
+
+Example::
+
+    sim = Simulator()
+
+    def hello(sim):
+        yield sim.timeout(5.0)
+        print("the time is", sim.now)
+
+    sim.spawn(hello(sim))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator
+from typing import Any
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupted",
+    "SimProcess",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel itself."""
+
+
+class Interrupted(Exception):
+    """Thrown into a process generator when :meth:`SimProcess.interrupt` is called.
+
+    The interrupting party supplies a *cause*, available as ``.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+#: Events scheduled with URGENT fire before NORMAL ones at the same instant.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence that processes may wait on.
+
+    An event starts *pending*; it is *triggered* exactly once, either by
+    :meth:`succeed` (with an optional value) or :meth:`fail` (with an
+    exception that will be thrown into every waiter).  Waiters attached
+    after triggering are scheduled immediately.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_triggered", "_ok", "_value", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: list[Callable[[Event], None]] | None = []
+        self._triggered = False
+        self._ok = True
+        self._value: Any = None
+        self._defused = False
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception."""
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, waking all waiters with *value*."""
+        self._trigger(ok=True, value=value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; *exc* is thrown into every waiter.
+
+        If nobody ever waits on a failed event the simulation ends with
+        the exception re-raised from :meth:`Simulator.run` (mirroring
+        "unhandled error" semantics), unless :meth:`defuse` is called.
+        """
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() requires an exception, got {exc!r}")
+        self._trigger(ok=False, value=exc)
+        return self
+
+    def defuse(self) -> "Event":
+        """Mark a failed event as handled even if no process waits on it."""
+        self._defused = True
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, None
+        assert callbacks is not None
+        self.sim._schedule_callbacks(self, callbacks)
+
+    # -- waiting -------------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Invoke *fn(event)* when the event triggers (immediately if it has)."""
+        if self._callbacks is None:
+            self.sim._schedule_callbacks(self, [fn])
+        else:
+            self._callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self._triggered:
+            state = "ok" if self._ok else f"failed({self._value!r})"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        sim.call_at(sim.now + delay, lambda: self.succeed(value))
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf: waits on several events at once."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: list[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        raise NotImplementedError
+
+    def _results(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self.events if ev.triggered}
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as *any* child event triggers.
+
+    Succeeds with a dict of the already-triggered events and their values;
+    fails if the first child to trigger failed.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            if not ev.ok:
+                ev.defuse()
+            return
+        if ev.ok:
+            self.succeed(self._results())
+        else:
+            ev.defuse()
+            self.fail(ev.value)
+
+
+class AllOf(_Condition):
+    """Triggers once *all* child events have triggered.
+
+    Fails fast on the first child failure.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            if not ev.ok:
+                ev.defuse()
+            return
+        if not ev.ok:
+            ev.defuse()
+            self.fail(ev.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._results())
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class SimProcess(Event):
+    """A running simulated activity.
+
+    Wraps a generator that yields :class:`Event` objects.  The process is
+    itself an event: it triggers when the generator returns (success, with
+    the return value) or raises (failure).  This lets processes wait on
+    each other, e.g. ``result = yield child_process``.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
+        super().__init__(sim)
+        if not isinstance(generator, Generator):
+            raise SimulationError(
+                f"spawn() requires a generator, got {type(generator).__name__}"
+            )
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Start the process at the current instant, but via the queue so
+        # that spawn order == execution order.
+        sim.call_at(sim.now, self._start, priority=PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def _start(self) -> None:
+        self._step(None, None)
+
+    def _resume(self, ev: Event) -> None:
+        if self._waiting_on is not ev:
+            # A stale wakeup from an event this process no longer waits on
+            # (it was interrupted while waiting).  Ignore.
+            if not ev.ok:
+                ev.defuse()
+            return
+        self._waiting_on = None
+        if ev.ok:
+            self._step(ev.value, None)
+        else:
+            self._step(None, ev.value)
+
+    def _step(self, value: Any, exc: BaseException | None) -> None:
+        try:
+            if exc is not None:
+                target = self.generator.throw(exc)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupted as err:
+            # An interrupt that escapes the generator terminates it but is
+            # not a kernel error: the process "dies of" the interruption.
+            self.succeed(err.cause)
+            return
+        except BaseException as err:  # noqa: BLE001 - deliberate: process died
+            self.fail(err)
+            return
+        if not isinstance(target, Event):
+            self.generator.throw(
+                SimulationError(f"process {self.name!r} yielded non-event {target!r}")
+            )
+            return
+        if target.sim is not self.sim:
+            self.generator.throw(
+                SimulationError("process yielded an event from another simulator")
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at the current instant.
+
+        Interrupting a finished process is a no-op (the usual race when a
+        watchdog and its subject complete simultaneously).
+        """
+        if self.triggered:
+            return
+
+        def do_interrupt() -> None:
+            if self.triggered:
+                return
+            waiting, self._waiting_on = self._waiting_on, None
+            if waiting is None and not self.triggered:
+                # Process is mid-step or not yet started; deliver the
+                # interrupt on its next resumption point instead.
+                self.sim.call_at(self.sim.now, do_interrupt, priority=PRIORITY_NORMAL)
+                return
+            self._step(None, Interrupted(cause))
+
+        self.sim.call_at(self.sim.now, do_interrupt, priority=PRIORITY_URGENT)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimProcess {self.name!r} alive={self.is_alive}>"
+
+
+class Simulator:
+    """The simulation kernel: clock + event queue + process scheduler."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._running = False
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    # -- low-level scheduling ---------------------------------------------
+    def call_at(
+        self,
+        when: float,
+        fn: Callable[[], None],
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Schedule plain callback *fn* to run at simulated time *when*."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past ({when} < now={self._now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._queue, (when, priority, self._seq, fn))
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule *fn* to run *delay* seconds from now."""
+        self.call_at(self._now + delay, fn)
+
+    def _schedule_callbacks(
+        self, ev: Event, callbacks: list[Callable[[Event], None]]
+    ) -> None:
+        def run() -> None:
+            if not ev.ok and not callbacks and not ev._defused:
+                raise ev.value
+            for cb in callbacks:
+                cb(ev)
+
+        self.call_at(self._now, run, priority=PRIORITY_URGENT)
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after *delay* simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        """Wait for the first of *events*."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        """Wait for all of *events*."""
+        return AllOf(self, events)
+
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> SimProcess:
+        """Start a new simulated process from *generator*."""
+        return SimProcess(self, generator, name)
+
+    # -- execution -----------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next event.  Returns False if the queue is empty."""
+        if not self._queue:
+            return False
+        when, _prio, _seq, fn = heapq.heappop(self._queue)
+        self._now = when
+        fn()
+        return True
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the queue drains or the clock passes *until*.
+
+        Returns the final simulated time.  An unhandled failed event
+        re-raises its exception here.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                when = self._queue[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                self.step()
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``float('inf')`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now} queued={len(self._queue)}>"

@@ -1,0 +1,133 @@
+"""Simulated OS processes.
+
+The paper's escaping-error vocabulary is grounded in UNIX process
+mechanics: "within a running program, an escaping error is communicated by
+stopping the program with a unique exit code"; a POSIX signal "can deliver
+an error directly to a parent process" (§3.3).  This module provides that
+substrate: a per-machine process table whose entries wrap simulation
+coroutines and expose exit codes, signals, and parent waits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.engine import Interrupted, SimProcess, Simulator
+
+__all__ = ["ExitStatus", "OsProcess", "ProcessTable", "Signal"]
+
+
+class Signal:
+    """The handful of signal numbers the simulation uses."""
+
+    SIGKILL = 9
+    SIGSEGV = 11
+    SIGTERM = 15
+
+
+@dataclass(frozen=True)
+class ExitStatus:
+    """How a process ended: normal exit code, or death by signal."""
+
+    code: int = 0
+    signal: int | None = None
+
+    @property
+    def exited_normally(self) -> bool:
+        return self.signal is None
+
+    def __str__(self) -> str:
+        if self.signal is not None:
+            return f"killed by signal {self.signal}"
+        return f"exit code {self.code}"
+
+
+class ProcessExit(Exception):
+    """Raised inside a process body to terminate it with an exit code.
+
+    The process-model analogue of ``exit(2)``; bodies may raise it from
+    any depth and the process table converts it into an :class:`ExitStatus`.
+    """
+
+    def __init__(self, code: int):
+        super().__init__(f"exit({code})")
+        self.code = code
+
+
+class OsProcess:
+    """One simulated OS process."""
+
+    def __init__(self, table: "ProcessTable", pid: int, name: str, body) -> None:
+        self.table = table
+        self.pid = pid
+        self.name = name
+        self.status: ExitStatus | None = None
+        self.result: Any = None
+        self._sim_proc: SimProcess = table.sim.spawn(
+            self._run(body), name=f"{table.machine_name}:{name}[{pid}]"
+        )
+
+    def _run(self, body):
+        try:
+            self.result = yield from body
+        except ProcessExit as exc:
+            self.status = ExitStatus(code=exc.code)
+            return
+        except Interrupted as intr:
+            sig = intr.cause if isinstance(intr.cause, int) else Signal.SIGKILL
+            self.status = ExitStatus(code=0, signal=sig)
+            return
+        except Exception:
+            # A crash: the OS reports SIGSEGV-style death, not the Python
+            # traceback -- detail is invisible to the parent, exactly the
+            # information loss the paper's Figure 4 is about.
+            self.status = ExitStatus(code=0, signal=Signal.SIGSEGV)
+            return
+        self.status = ExitStatus(code=0)
+
+    @property
+    def is_alive(self) -> bool:
+        return self.status is None
+
+    def wait(self):
+        """Generator: block until the process ends; returns :class:`ExitStatus`."""
+        if self.status is None:
+            yield self._sim_proc
+        assert self.status is not None
+        return self.status
+
+    def kill(self, signal: int = Signal.SIGKILL) -> None:
+        """Deliver *signal*; the process dies at the current instant."""
+        if self.is_alive:
+            self._sim_proc.interrupt(signal)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OsProcess {self.name}[{self.pid}] status={self.status}>"
+
+
+class ProcessTable:
+    """Spawns and tracks the processes of one machine."""
+
+    def __init__(self, sim: Simulator, machine_name: str = "host"):
+        self.sim = sim
+        self.machine_name = machine_name
+        self._next_pid = 1
+        self.processes: dict[int, OsProcess] = {}
+
+    def spawn(self, name: str, body) -> OsProcess:
+        """Fork a new process running generator *body*."""
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = OsProcess(self, pid, name, body)
+        self.processes[pid] = proc
+        return proc
+
+    def living(self) -> list[OsProcess]:
+        """All processes that have not yet exited."""
+        return [p for p in self.processes.values() if p.is_alive]
+
+    def kill_all(self, signal: int = Signal.SIGKILL) -> None:
+        """Machine shutdown: kill every living process."""
+        for proc in self.living():
+            proc.kill(signal)

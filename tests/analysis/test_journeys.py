@@ -1,0 +1,126 @@
+"""Tests for trace analytics."""
+
+import pytest
+
+from repro.analysis import analyze_trace, journeys, observed_scope_map
+from repro.core.errors import explicit
+from repro.core.propagation import Action, ManagementChain, ScopeManager
+from repro.core.scope import ErrorScope
+
+
+def make_chain(mask_at=None):
+    policies = {}
+    if mask_at:
+        policies[mask_at] = lambda mgr, err: Action.MASK
+    spec = [
+        ("wrapper", {ErrorScope.PROGRAM, ErrorScope.PROCESS}),
+        ("starter", {ErrorScope.VIRTUAL_MACHINE}),
+        ("shadow", {ErrorScope.REMOTE_RESOURCE}),
+        ("schedd", {ErrorScope.LOCAL_RESOURCE, ErrorScope.JOB}),
+    ]
+    return ManagementChain(
+        [ScopeManager(name, scopes, policies.get(name)) for name, scopes in spec]
+    )
+
+
+class TestJourneys:
+    def test_single_journey_reconstruction(self):
+        chain = make_chain()
+        err = explicit("OutOfMemoryError", ErrorScope.VIRTUAL_MACHINE)
+        chain.propagate(err, "wrapper", time=3.0)
+        [journey] = journeys(chain.trace)
+        assert journey.name == "OutOfMemoryError"
+        assert journey.discovered_by == "wrapper"
+        assert journey.discovered_at == 3.0
+        assert journey.handler == "starter"
+        assert journey.hops == 1
+        assert journey.correctly_delivered
+
+    def test_multiple_errors_grouped_separately(self):
+        chain = make_chain()
+        for i in range(3):
+            chain.propagate(explicit(f"E{i}", ErrorScope.JOB), "wrapper", time=float(i))
+        assert len(journeys(chain.trace)) == 3
+
+    def test_rescoped_error_stays_one_journey(self):
+        """rescoped() preserves error_id, so the journey is one story."""
+        chain = make_chain()
+        low = explicit("ConnectionLost", ErrorScope.PROCESS)
+        chain.propagate(low, "wrapper", time=1.0)
+        high = low.rescoped(ErrorScope.REMOTE_RESOURCE)
+        chain.propagate(high, "shadow", time=2.0)
+        assert len(journeys(chain.trace)) == 1
+
+    def test_mishandled_journey(self):
+        chain = make_chain()
+        err = explicit("X", ErrorScope.VIRTUAL_MACHINE)
+        chain.misdeliver(err, consumed_by="user", time=1.0)
+        [journey] = journeys(chain.trace)
+        assert not journey.correctly_delivered
+        assert journey.handler == "user"
+
+    def test_unmanaged_journey(self):
+        chain = make_chain()
+        err = explicit("MatchmakerGone", ErrorScope.POOL)
+        chain.propagate(err, "wrapper")
+        [journey] = journeys(chain.trace)
+        assert journey.handler is None
+        assert not journey.correctly_delivered
+
+
+class TestStats:
+    def test_empty_trace(self):
+        chain = make_chain()
+        stats = analyze_trace(chain.trace)
+        assert stats.total == 0
+        assert stats.mean_hops == 0.0
+
+    def test_mixed_trace_statistics(self):
+        chain = make_chain(mask_at="starter")
+        chain.propagate(explicit("A", ErrorScope.VIRTUAL_MACHINE), "wrapper")  # masked
+        chain.propagate(explicit("B", ErrorScope.JOB), "wrapper")  # reported, 3 hops
+        chain.propagate(explicit("C", ErrorScope.POOL), "wrapper")  # unmanaged
+        chain.misdeliver(explicit("D", ErrorScope.JOB), "user")  # mishandled
+        stats = analyze_trace(chain.trace)
+        assert stats.total == 4
+        assert stats.correctly_delivered == 2
+        assert stats.unmanaged == 1
+        assert stats.mishandled == 1
+        assert stats.by_scope[ErrorScope.JOB] == 2
+        assert stats.by_handler["starter"] == 1
+        assert stats.by_handler["schedd"] == 1
+        assert stats.max_hops == 4  # C escalated through all four managers
+
+    def test_stats_table_renders(self):
+        chain = make_chain()
+        chain.propagate(explicit("A", ErrorScope.JOB), "wrapper")
+        text = analyze_trace(chain.trace).table().render()
+        assert "errors traced" in text and "handled by schedd" in text
+
+
+class TestObservedScopeMap:
+    def test_map_matches_figure_3(self):
+        chain = make_chain()
+        chain.propagate(explicit("A", ErrorScope.VIRTUAL_MACHINE), "wrapper")
+        chain.propagate(explicit("B", ErrorScope.JOB), "wrapper")
+        text = observed_scope_map(chain.trace).render()
+        assert "virtual-machine" in text and "starter" in text
+        assert "job" in text and "schedd" in text
+
+    def test_pool_trace_feeds_analysis(self):
+        """End to end: a real pool run's trace analyzed."""
+        from repro.condor import Job, Pool, PoolConfig, ProgramImage, Universe
+        from repro.faults import FaultInjector, MisconfiguredJvm
+        from repro.jvm.program import JavaProgram, Step
+
+        pool = Pool(PoolConfig(n_machines=3))
+        FaultInjector(pool).schedule(MisconfiguredJvm("exec000"))
+        job = Job("1.0", owner="t", universe=Universe.JAVA,
+                  image=ProgramImage("x.class",
+                                     program=JavaProgram(steps=[Step.compute(3.0)])))
+        pool.submit(job)
+        pool.run_until_done(max_time=100_000)
+        stats = analyze_trace(pool.trace)
+        assert stats.total >= 1
+        assert stats.mishandled == 0
+        assert stats.correctly_delivered == stats.total

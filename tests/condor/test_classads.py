@@ -1,0 +1,395 @@
+"""Tests for the ClassAd language: lexer, parser, evaluation, matching."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.condor.classads import (
+    ClassAd,
+    LexError,
+    ParseError,
+    match,
+    parse,
+    rank,
+    symmetric_match,
+)
+from repro.condor.classads.expr import (
+    EvalContext,
+    V_ERROR,
+    V_FALSE,
+    V_TRUE,
+    V_UNDEFINED,
+    ValueType,
+)
+
+
+def ev(source, my=None, target=None):
+    return parse(source).eval(EvalContext(my=my, target=target))
+
+
+class TestLexerParser:
+    def test_integer_literal(self):
+        assert ev("42").payload == 42
+
+    def test_real_literal(self):
+        assert ev("3.5").payload == 3.5
+
+    def test_scientific_notation(self):
+        assert ev("1e3").payload == 1000.0
+        assert ev("2.5e-1").payload == 0.25
+
+    def test_string_literal(self):
+        assert ev('"hello"').payload == "hello"
+
+    def test_string_escape(self):
+        assert ev('"say \\"hi\\""').payload == 'say "hi"'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            parse('"oops')
+
+    def test_keywords_case_insensitive(self):
+        assert ev("TRUE") is V_TRUE
+        assert ev("false") is V_FALSE
+        assert ev("Undefined") is V_UNDEFINED
+        assert ev("ERROR") is V_ERROR
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            parse("a @ b")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("1 2")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse("(1 + 2")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_precedence(self):
+        assert ev("2 + 3 * 4").payload == 14
+        assert ev("(2 + 3) * 4").payload == 20
+        assert ev("2 < 3 && 3 < 2") is V_FALSE
+        assert ev("1 + 1 == 2") is V_TRUE
+
+    def test_unary_minus(self):
+        assert ev("-5").payload == -5
+        assert ev("3 - -2").payload == 5
+
+    def test_not(self):
+        assert ev("!TRUE") is V_FALSE
+        assert ev("!!TRUE") is V_TRUE
+
+
+class TestArithmetic:
+    def test_integer_ops(self):
+        assert ev("7 / 2").payload == 3
+        assert ev("7 % 3").payload == 1
+        assert ev("-7 / 2").payload == -3  # C-style truncation
+
+    def test_real_promotion(self):
+        assert ev("7 / 2.0").payload == 3.5
+        assert ev("1 + 0.5").payload == 1.5
+
+    def test_division_by_zero_is_error(self):
+        assert ev("1 / 0") is V_ERROR
+        assert ev("1 % 0") is V_ERROR
+        assert ev("1.0 / 0") is V_ERROR
+
+    def test_string_concatenation(self):
+        assert ev('"foo" + "bar"').payload == "foobar"
+
+    def test_arith_on_string_is_error(self):
+        assert ev('"foo" * 2') is V_ERROR
+
+    def test_undefined_propagates(self):
+        assert ev("1 + missing").is_undefined
+
+    def test_error_dominates_undefined(self):
+        assert ev("missing + 1/0") is V_ERROR
+
+
+class TestComparison:
+    def test_numeric(self):
+        assert ev("3 > 2") is V_TRUE
+        assert ev("2.5 <= 2.5") is V_TRUE
+        assert ev("3 == 3.0") is V_TRUE
+
+    def test_string_equality_case_insensitive(self):
+        assert ev('"LINUX" == "linux"') is V_TRUE
+        assert ev('"a" < "b"') is V_TRUE
+
+    def test_mixed_types_error(self):
+        assert ev('1 == "1"') is V_ERROR
+
+    def test_undefined_comparison(self):
+        assert ev("missing == 1").is_undefined
+
+    def test_meta_equality_pierces_undefined(self):
+        assert ev("missing =?= UNDEFINED") is V_TRUE
+        assert ev("missing =!= UNDEFINED") is V_FALSE
+        assert ev("1 =?= UNDEFINED") is V_FALSE
+        assert ev("ERROR =?= ERROR") is V_TRUE
+
+    def test_meta_equality_same_type_and_value(self):
+        assert ev("1 =?= 1") is V_TRUE
+        assert ev('"a" =?= "a"') is V_TRUE
+        assert ev('"a" =?= "A"') is V_FALSE  # case-sensitive, unlike ==
+        assert ev('1 =?= "1"') is V_FALSE
+
+
+class TestThreeValuedLogic:
+    def test_false_dominates_and(self):
+        assert ev("FALSE && missing") is V_FALSE
+        assert ev("missing && FALSE") is V_FALSE
+        assert ev("FALSE && ERROR") is V_FALSE
+
+    def test_true_dominates_or(self):
+        assert ev("TRUE || missing") is V_TRUE
+        assert ev("missing || TRUE") is V_TRUE
+        assert ev("TRUE || ERROR") is V_TRUE
+
+    def test_undefined_taints_and(self):
+        assert ev("TRUE && missing").is_undefined
+        assert ev("missing || FALSE").is_undefined
+
+    def test_error_beats_undefined(self):
+        assert ev("missing && ERROR") is V_ERROR
+        assert ev("missing || ERROR") is V_ERROR
+
+    def test_numbers_coerce_to_bool(self):
+        assert ev("1 && TRUE") is V_TRUE
+        assert ev("0 || FALSE") is V_FALSE
+
+    def test_string_in_logic_is_error(self):
+        assert ev('"yes" && TRUE') is V_ERROR
+
+
+class TestFunctions:
+    def test_if_then_else(self):
+        assert ev('ifThenElse(2 > 1, "yes", "no")').payload == "yes"
+        assert ev("ifThenElse(missing, 1, 2)").is_undefined
+
+    def test_is_undefined_is_error(self):
+        assert ev("isUndefined(missing)") is V_TRUE
+        assert ev("isUndefined(3)") is V_FALSE
+        assert ev("isError(1/0)") is V_TRUE
+
+    def test_numeric_functions(self):
+        assert ev("floor(2.7)").payload == 2
+        assert ev("ceiling(2.1)").payload == 3
+        assert ev("round(2.5)").payload == 2  # banker's rounding via Python
+        assert ev("abs(-4)").payload == 4
+
+    def test_string_functions(self):
+        assert ev('toUpper("abc")').payload == "ABC"
+        assert ev('toLower("ABC")').payload == "abc"
+        assert ev('size("hello")').payload == 5
+        assert ev('strcmp("a", "b")').payload == -1
+        assert ev('strcmp("a", "a")').payload == 0
+
+    def test_string_list_member(self):
+        assert ev('stringListMember("java", "mpi, java, pvm")') is V_TRUE
+        assert ev('stringListMember("perl", "mpi, java, pvm")') is V_FALSE
+
+    def test_conversions(self):
+        assert ev('int("42")').payload == 42
+        assert ev("int(3.9)").payload == 3
+        assert ev('real("2.5")').payload == 2.5
+        assert ev("string(5)").payload == "5"
+        assert ev('int("abc")') is V_ERROR
+
+    def test_strcat(self):
+        assert ev('strcat("a", 1, "-", 2.5)').payload == "a1-2.5"
+        assert ev('strcat("x", missing)').is_undefined
+
+    def test_substr(self):
+        assert ev('substr("condor", 2)').payload == "ndor"
+        assert ev('substr("condor", 0, 3)').payload == "con"
+        assert ev('substr("condor", -3)').payload == "dor"
+        assert ev('substr("condor", 1, -1)').payload == "ondo"
+        assert ev('substr(5, 0)') is V_ERROR
+
+    def test_min_max(self):
+        assert ev("min(3, 1, 2)").payload == 1
+        assert ev("max(3, 1, 2.5)").payload == 3
+        assert ev("min()") is V_ERROR
+        assert ev('min(1, "x")') is V_ERROR
+        assert ev("max(1, missing)").is_undefined
+
+    def test_pow(self):
+        assert ev("pow(2, 10)").payload == 1024
+        assert ev("pow(4, 0.5)").payload == 2.0
+        assert ev('pow("a", 2)') is V_ERROR
+        assert ev("pow(0, -1)") is V_ERROR
+
+    def test_unknown_function_is_error(self):
+        assert ev("nosuchfn(1)") is V_ERROR
+
+    def test_wrong_arity_is_error(self):
+        assert ev("floor(1, 2)") is V_ERROR
+
+
+class TestAttrRefs:
+    def test_self_lookup(self):
+        ad = ClassAd({"memory": 128})
+        assert ad.eval("memory").payload == 128
+
+    def test_case_insensitive(self):
+        ad = ClassAd({"Memory": 128})
+        assert ad.eval("MEMORY").payload == 128
+
+    def test_missing_is_undefined(self):
+        assert ClassAd().eval("nope").is_undefined
+
+    def test_chained_attributes(self):
+        ad = ClassAd()
+        ad.set_expr("a", "b * 2")
+        ad["b"] = 21
+        assert ad.eval("a").payload == 42
+
+    def test_circular_reference_is_error(self):
+        ad = ClassAd()
+        ad.set_expr("a", "b")
+        ad.set_expr("b", "a")
+        assert ad.eval("a") is V_ERROR
+
+    def test_self_circular_is_error(self):
+        ad = ClassAd()
+        ad.set_expr("x", "x + 1")
+        assert ad.eval("x") is V_ERROR
+
+    def test_my_and_target_qualifiers(self):
+        mine = ClassAd({"memory": 64})
+        theirs = ClassAd({"memory": 256})
+        mine.set_expr("cmp", "MY.memory < TARGET.memory")
+        assert mine.eval("cmp", target=theirs) is V_TRUE
+
+    def test_other_is_alias_for_target(self):
+        mine = ClassAd()
+        theirs = ClassAd({"disk": 100})
+        mine.set_expr("d", "OTHER.disk")
+        assert mine.eval("d", target=theirs).payload == 100
+
+    def test_unqualified_falls_through_to_target(self):
+        mine = ClassAd()
+        theirs = ClassAd({"arch": "intel"})
+        mine.set_expr("req", 'arch == "INTEL"')
+        assert mine.eval("req", target=theirs) is V_TRUE
+
+    def test_target_attr_evaluates_in_target_frame(self):
+        """An attribute fetched from TARGET must resolve its own references
+        in the target ad, not the referencing ad."""
+        mine = ClassAd({"base": 1})
+        theirs = ClassAd({"base": 10})
+        theirs.set_expr("derived", "base * 2")
+        mine.set_expr("probe", "TARGET.derived")
+        assert mine.eval("probe", target=theirs).payload == 20
+
+    def test_value_helper(self):
+        ad = ClassAd({"x": 5})
+        assert ad.value("x") == 5
+        assert ad.value("missing", default="dflt") == "dflt"
+
+    def test_external_refs(self):
+        expr = parse('MY.memory > 10 && toUpper(arch) == "INTEL" && disk + 1 > 0')
+        assert expr.external_refs() == {"memory", "arch", "disk"}
+
+
+class TestMatching:
+    def _job_ad(self):
+        job = ClassAd({"imagesize": 28, "owner": "thain"})
+        job.set_expr("requirements", 'TARGET.arch == "intel" && TARGET.memory >= MY.imagesize')
+        job.set_expr("rank", "TARGET.memory")
+        return job
+
+    def _machine_ad(self, memory=128):
+        machine = ClassAd({"arch": "intel", "memory": memory, "opsys": "linux"})
+        machine.set_expr("requirements", "TARGET.imagesize <= MY.memory")
+        machine.set_expr("rank", "0")
+        return machine
+
+    def test_symmetric_match_succeeds(self):
+        assert symmetric_match(self._job_ad(), self._machine_ad())
+
+    def test_match_fails_on_capacity(self):
+        assert not symmetric_match(self._job_ad(), self._machine_ad(memory=16))
+
+    def test_match_is_directional(self):
+        job, machine = self._job_ad(), self._machine_ad(memory=16)
+        assert not match(job, machine)  # memory >= imagesize fails
+        assert match(machine, job) is False  # 28 <= 16 fails too
+
+    def test_missing_requirements_rejects(self):
+        assert not match(ClassAd(), ClassAd())
+
+    def test_undefined_requirements_rejects(self):
+        job = ClassAd()
+        job.set_expr("requirements", "TARGET.nonexistent > 5")
+        assert not match(job, ClassAd())
+
+    def test_error_requirements_rejects(self):
+        job = ClassAd()
+        job.set_expr("requirements", "1 / 0")
+        assert not match(job, self._machine_ad())
+
+    def test_rank_ordering(self):
+        job = self._job_ad()
+        small, big = self._machine_ad(64), self._machine_ad(512)
+        assert rank(job, big) > rank(job, small)
+
+    def test_rank_defaults_to_zero(self):
+        assert rank(ClassAd(), ClassAd()) == 0.0
+        bad = ClassAd()
+        bad.set_expr("rank", '"high"')
+        assert rank(bad, ClassAd()) == 0.0
+
+    def test_copy_and_update(self):
+        a = ClassAd({"x": 1})
+        b = a.copy()
+        b["x"] = 2
+        assert a.eval("x").payload == 1
+        a.update(b)
+        assert a.eval("x").payload == 2
+
+    def test_render_is_stable(self):
+        ad = ClassAd({"b": 2, "a": 1})
+        text = ad.render()
+        assert text.index("a =") < text.index("b =")
+        assert ClassAd().render() == "[ ]"
+
+
+class TestProperties:
+    @given(st.integers(min_value=-10**6, max_value=10**6), st.integers(min_value=-10**6, max_value=10**6))
+    def test_addition_matches_python(self, a, b):
+        assert ev(f"{a} + {b}").payload == a + b if a + b >= 0 else True
+        # Negative literals parse as unary minus; evaluate both ways.
+        val = ev(f"({a}) + ({b})")
+        assert val.payload == a + b
+
+    @given(st.integers(min_value=-1000, max_value=1000))
+    def test_meta_identity(self, n):
+        assert ev(f"({n}) =?= ({n})") is V_TRUE
+
+    @given(st.sampled_from(["TRUE", "FALSE", "UNDEFINED", "ERROR"]),
+           st.sampled_from(["TRUE", "FALSE", "UNDEFINED", "ERROR"]))
+    def test_and_or_duality(self, a, b):
+        """De Morgan holds in ClassAd three-valued logic."""
+        lhs = ev(f"!({a} && {b})")
+        rhs = ev(f"(!{a}) || (!{b})")
+        assert lhs.type == rhs.type and lhs.payload == rhs.payload
+
+    @given(st.text(alphabet="abcdefgh", min_size=1, max_size=8))
+    def test_attr_name_round_trip(self, name):
+        ad = ClassAd({name: 7})
+        assert ad.eval(name.upper()).payload == 7
+
+    @given(st.integers(min_value=0, max_value=100), st.integers(min_value=0, max_value=100))
+    def test_comparison_total(self, a, b):
+        """Exactly one of <, ==, > holds for any two integers."""
+        results = [ev(f"{a} < {b}"), ev(f"{a} == {b}"), ev(f"{a} > {b}")]
+        assert sum(1 for r in results if r is V_TRUE) == 1

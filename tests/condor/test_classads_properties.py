@@ -1,0 +1,113 @@
+"""Property and fuzz tests for the ClassAd language.
+
+The central guarantee: evaluation is *total*.  No ad, however malformed
+its expressions, can crash the matchmaker -- bad expressions evaluate to
+ERROR and simply fail to match (paper §2.1's matchmaking robustness rests
+on this).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.condor.classads import ClassAd, LexError, ParseError, match, parse
+from repro.condor.classads.expr import ClassAdValue, EvalContext
+
+# -- fuzz: the parser never raises anything but its own error types --------
+
+printable = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=60
+)
+
+
+@given(printable)
+@settings(max_examples=300, deadline=None)
+def test_parser_total_over_garbage(source):
+    try:
+        expr = parse(source)
+    except (LexError, ParseError):
+        return
+    # If it parses, it must evaluate without raising.
+    value = expr.eval(EvalContext())
+    assert isinstance(value, ClassAdValue)
+
+
+# -- generated well-formed expressions always evaluate --------------------------
+
+def expressions():
+    leaves = st.one_of(
+        st.integers(min_value=-100, max_value=100).map(str),
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False).map(
+            lambda x: f"{x:.3f}"
+        ),
+        st.sampled_from(["TRUE", "FALSE", "UNDEFINED", "ERROR", '"str"',
+                         "attr_a", "MY.attr_b", "TARGET.attr_c"]),
+    )
+
+    def compose(children):
+        binops = st.sampled_from(
+            ["+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=",
+             "&&", "||", "=?=", "=!="]
+        )
+        return st.one_of(
+            st.tuples(children, binops, children).map(
+                lambda t: f"({t[0]} {t[1]} {t[2]})"
+            ),
+            children.map(lambda c: f"(!{c})"),
+            children.map(lambda c: f"(-{c})"),
+            st.tuples(children, children, children).map(
+                lambda t: f"ifThenElse({t[0]}, {t[1]}, {t[2]})"
+            ),
+        )
+
+    return st.recursive(leaves, compose, max_leaves=12)
+
+
+@given(expressions())
+@settings(max_examples=300, deadline=None)
+def test_generated_expressions_evaluate_totally(source):
+    expr = parse(source)  # must parse: the generator emits valid syntax
+    my = ClassAd({"attr_a": 1, "attr_b": 2.5})
+    target = ClassAd({"attr_c": "hello"})
+    value = expr.eval(EvalContext(my=my, target=target))
+    assert isinstance(value, ClassAdValue)
+
+
+@given(expressions())
+@settings(max_examples=100, deadline=None)
+def test_requirements_never_crash_matching(source):
+    """Any expression can be a Requirements clause; match() stays total."""
+    job = ClassAd({"x": 1})
+    job.set_expr("requirements", source)
+    machine = ClassAd({"y": 2})
+    machine.set_expr("requirements", "TRUE")
+    assert match(job, machine) in (True, False)
+
+
+@given(st.integers(min_value=-10**9, max_value=10**9),
+       st.integers(min_value=-10**9, max_value=10**9))
+@settings(max_examples=100, deadline=None)
+def test_integer_arithmetic_matches_python(a, b):
+    ctx = EvalContext()
+    assert parse(f"({a}) + ({b})").eval(ctx).payload == a + b
+    assert parse(f"({a}) - ({b})").eval(ctx).payload == a - b
+    assert parse(f"({a}) * ({b})").eval(ctx).payload == a * b
+    if b != 0:
+        assert parse(f"({a}) / ({b})").eval(ctx).payload == int(a / b)
+
+
+@given(st.text(alphabet="abcxyz_", min_size=1, max_size=10),
+       st.integers(min_value=0, max_value=1000))
+@settings(max_examples=100, deadline=None)
+def test_ad_attribute_round_trip(name, value):
+    ad = ClassAd({name: value})
+    assert ad.value(name) == value
+    assert ad.value(name.upper()) == value
+
+
+@given(expressions())
+@settings(max_examples=100, deadline=None)
+def test_external_refs_subset_of_known_attrs(source):
+    expr = parse(source)
+    refs = expr.external_refs()
+    assert refs <= {"attr_a", "attr_b", "attr_c"}

@@ -1,0 +1,86 @@
+"""Multiple submission sites and fair-share negotiation."""
+
+import pytest
+
+from repro.condor import Job, JobState, Pool, PoolConfig, ProgramImage, Universe
+from repro.condor.daemons.config import CondorConfig
+from repro.jvm.program import JavaProgram, Step
+
+
+def java_job(job_id, owner, work=10.0):
+    program = JavaProgram(steps=[Step.compute(work)])
+    return Job(job_id, owner=owner, universe=Universe.JAVA,
+               image=ProgramImage(f"j{job_id}.class", program=program))
+
+
+class TestMultiSchedd:
+    def test_two_sites_share_one_pool(self):
+        pool = Pool(PoolConfig(n_machines=3))
+        second = pool.add_schedd("submit2")
+        a = java_job("1.0", "alice")
+        b = java_job("9.0", "bob")
+        pool.submit(a)
+        second.submit(b)
+        pool.run_until_done(max_time=50_000, expected_jobs=2)
+        assert a.state is JobState.COMPLETED
+        assert b.state is JobState.COMPLETED
+
+    def test_duplicate_schedd_host_rejected(self):
+        pool = Pool(PoolConfig(n_machines=1))
+        with pytest.raises(ValueError):
+            pool.add_schedd("submit")
+
+    def test_second_site_has_own_home_fs(self):
+        pool = Pool(PoolConfig(n_machines=2))
+        second = pool.add_schedd("submit2")
+        second.home_fs_local.write_file("/home/user/in2.dat", b"two")
+        job = java_job("9.0", "bob")
+        job.image.program.steps.append(Step.read("/home/user/in2.dat"))
+        second.submit(job)
+        pool.run_until_done(max_time=50_000, expected_jobs=1)
+        assert job.state is JobState.COMPLETED
+
+    def test_same_job_id_allowed_on_different_schedds(self):
+        pool = Pool(PoolConfig(n_machines=2))
+        second = pool.add_schedd("submit2")
+        a = java_job("1.0", "alice")
+        b = java_job("1.0", "bob")
+        pool.submit(a)
+        second.submit(b)
+        pool.run_until_done(max_time=50_000, expected_jobs=2)
+        assert a.state is b.state is JobState.COMPLETED
+
+
+class TestFairShare:
+    def _flood_and_trickle(self, fair_share):
+        """Alice floods 8 jobs at t=0; Bob submits 2 at t=100 from his own
+        site.  One machine: pure contention."""
+        condor = CondorConfig(error_mode="scoped", fair_share=fair_share)
+        pool = Pool(PoolConfig(n_machines=1, condor=condor))
+        alice_jobs = [java_job(f"1.{i}", "alice", work=20.0) for i in range(8)]
+        for job in alice_jobs:
+            pool.submit(job)
+        second = pool.add_schedd("submit2")
+        bob_jobs = [java_job(f"2.{i}", "bob", work=20.0) for i in range(2)]
+        for job in bob_jobs:
+            pool.sim.call_at(100.0, lambda j=job: second.submit(j))
+        pool.run_until_done(max_time=500_000, expected_jobs=10)
+        assert all(j.state is JobState.COMPLETED for j in alice_jobs + bob_jobs)
+        return max(j.attempts[-1].ended for j in bob_jobs)
+
+    def test_fair_share_lets_the_small_user_in_early(self):
+        """With fair share, Bob's late jobs do not wait behind the whole
+        flood: Alice's accumulated usage puts Bob first at each cycle."""
+        with_fs = self._flood_and_trickle(fair_share=True)
+        without = self._flood_and_trickle(fair_share=False)
+        assert with_fs < without
+
+    def test_usage_decays(self):
+        pool = Pool(PoolConfig(n_machines=2))
+        jobs = [java_job(f"1.{i}", "alice", work=2.0) for i in range(2)]
+        for job in jobs:
+            pool.submit(job)
+        pool.run_until_done(max_time=50_000)
+        usage_after = pool.matchmaker.owner_usage.get("alice", 0.0)
+        pool.run(until=pool.sim.now + 300.0)  # idle cycles decay usage
+        assert pool.matchmaker.owner_usage.get("alice", 0.0) < usage_after

@@ -1,0 +1,98 @@
+"""Pool-level extras: NFS-mounted home directories and operator tools."""
+
+import pytest
+
+from repro.condor import Job, JobState, Pool, PoolConfig, ProgramImage, Universe
+from repro.condor.daemons.config import CondorConfig
+from repro.condor.tools import condor_q, condor_status, error_scope_report
+from repro.faults import FaultInjector, HomeFilesystemOffline, MisconfiguredJvm
+from repro.jvm.program import JavaProgram, Step
+
+
+def java_job(job_id="1.0", steps=None):
+    program = JavaProgram(steps=steps or [Step.compute(5.0)])
+    return Job(job_id, owner="thain", universe=Universe.JAVA,
+               image=ProgramImage(f"j{job_id}.class", program=program))
+
+
+class TestNfsHomePool:
+    @pytest.mark.parametrize("mode", ["hard", "soft"])
+    def test_pool_with_nfs_home_runs_jobs(self, mode):
+        pool = Pool(PoolConfig(n_machines=2, home_nfs_mode=mode))
+        pool.home_fs.write_file("/home/user/in.dat", b"x")
+        job = java_job(steps=[Step.read("/home/user/in.dat"), Step.exit(0)])
+        pool.submit(job)
+        pool.run_until_done(max_time=50_000)
+        assert job.state is JobState.COMPLETED
+
+    def test_soft_mounted_home_outage_is_local_resource(self):
+        from repro.core.scope import ErrorScope
+
+        pool = Pool(PoolConfig(
+            n_machines=2, home_nfs_mode="soft", home_nfs_soft_timeout=5.0,
+        ))
+        pool.home_fs.write_file("/home/user/in.dat", b"x")
+        FaultInjector(pool).schedule(HomeFilesystemOffline(), at=0.0, until=300.0)
+        job = java_job(steps=[Step.read("/home/user/in.dat"), Step.exit(0)])
+        pool.submit(job)
+        pool.run_until_done(max_time=100_000)
+        assert job.state is JobState.COMPLETED
+        failed = [a for a in job.attempts if a.error_scope is not None]
+        assert failed and failed[0].error_scope is ErrorScope.LOCAL_RESOURCE
+
+
+class TestOperatorTools:
+    def _run_pool(self):
+        pool = Pool(PoolConfig(n_machines=2))
+        FaultInjector(pool).schedule(MisconfiguredJvm("exec000"))
+        jobs = [java_job(f"1.{i}") for i in range(3)]
+        for job in jobs:
+            pool.submit(job)
+        pool.run_until_done(max_time=100_000)
+        return pool
+
+    def test_condor_status_lists_machines(self):
+        pool = self._run_pool()
+        text = condor_status(pool)
+        assert "exec000" in text and "exec001" in text
+        assert "condor_status" in text
+
+    def test_condor_q_lists_jobs_with_outcomes(self):
+        pool = self._run_pool()
+        text = condor_q(pool)
+        assert "1.0" in text and "1.2" in text
+        assert "completed" in text
+
+    def test_error_scope_report_counts_failures(self):
+        pool = self._run_pool()
+        text = error_scope_report(pool)
+        assert "remote-resource" in text
+
+    def test_error_scope_report_empty_pool(self):
+        pool = Pool(PoolConfig(n_machines=1))
+        assert "(none)" in error_scope_report(pool)
+
+    def test_condor_history_lists_attempts(self):
+        from repro.condor.tools import condor_history
+
+        pool = self._run_pool()
+        text = condor_history(pool)
+        assert "attempt" in text
+        assert "completed(exit=0)" in text
+        # The misconfigured machine shows up as a scoped failure row.
+        assert "remote-resource" in text
+
+    def test_timeline_renders_marks(self):
+        from repro.condor.tools import timeline
+
+        pool = self._run_pool()
+        text = timeline(pool, width=40)
+        assert "#" in text  # successful execution spans
+        assert "x" in text  # the failed attempts on exec000
+        assert "1.0" in text and "1.2" in text
+
+    def test_timeline_empty_pool(self):
+        from repro.condor.tools import timeline
+
+        pool = Pool(PoolConfig(n_machines=1))
+        assert timeline(pool) == "(no attempts recorded)"

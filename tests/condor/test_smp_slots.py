@@ -1,0 +1,109 @@
+"""Multi-slot (SMP) machines: several independently-claimable slots."""
+
+import pytest
+
+from repro.condor import Job, JobState, Pool, PoolConfig, ProgramImage, Universe
+from repro.faults import FaultInjector, MisconfiguredJvm, OwnerActivity
+from repro.jvm.program import JavaProgram, Step
+
+MB = 2**20
+
+
+def java_job(job_id, work=20.0, steps=None):
+    program = JavaProgram(steps=steps or [Step.compute(work)])
+    return Job(job_id, owner="thain", universe=Universe.JAVA,
+               image=ProgramImage(f"j{job_id}.class", program=program))
+
+
+class TestSlots:
+    def test_machine_requires_at_least_one_slot(self):
+        from repro.sim.engine import Simulator
+        from repro.sim.machine import Machine
+
+        with pytest.raises(ValueError):
+            Machine(Simulator(), "m", slots=0)
+
+    def test_smp_runs_jobs_concurrently(self):
+        pool = Pool(PoolConfig(n_machines=0))
+        pool.add_machine("smp", slots=4, memory=1024 * MB)
+        jobs = [java_job(f"1.{i}", work=50.0) for i in range(4)]
+        for job in jobs:
+            pool.submit(job)
+        pool.run_until_done(max_time=50_000)
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+        assert all(j.attempts[0].site == "smp" for j in jobs)
+        # Executions overlapped: the last start precedes the first end.
+        starts = [j.attempts[0].started for j in jobs]
+        ends = [j.attempts[0].ended for j in jobs]
+        assert max(starts) < min(ends)
+
+    def test_slots_share_physical_memory(self):
+        """Two big jobs on a 2-slot machine: the second one OOMs."""
+        pool = Pool(PoolConfig(n_machines=0))
+        pool.add_machine("smp", slots=2, memory=64 * MB)
+        big = [java_job(f"1.{i}", steps=[Step.allocate(40 * MB), Step.compute(60.0)])
+               for i in range(2)]
+        for job in big:
+            job.heap_request = 48 * MB
+            pool.submit(job)
+        pool.run(until=2_000.0)
+        oom = [
+            a
+            for j in big
+            for a in j.attempts
+            if a.error_name == "OutOfMemoryError"
+        ]
+        assert oom  # shared memory made the slots interfere
+
+    def test_slot_names_distinct_in_matchmaker(self):
+        pool = Pool(PoolConfig(n_machines=0))
+        pool.add_machine("smp", slots=3)
+        pool.run(until=40.0)
+        slot_ads = [n for n in pool.matchmaker.machine_ads if "slot" in n]
+        assert sorted(slot_ads) == ["slot1@smp", "slot2@smp", "slot3@smp"]
+
+    def test_single_slot_machine_keeps_plain_name(self):
+        pool = Pool(PoolConfig(n_machines=1))
+        pool.run(until=40.0)
+        assert "exec000" in pool.matchmaker.machine_ads
+
+    def test_more_jobs_than_slots_queue(self):
+        pool = Pool(PoolConfig(n_machines=0))
+        pool.add_machine("smp", slots=2, memory=1024 * MB)
+        jobs = [java_job(f"1.{i}", work=10.0) for i in range(5)]
+        for job in jobs:
+            pool.submit(job)
+        pool.run_until_done(max_time=100_000)
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+
+    def test_eviction_clears_every_slot(self):
+        pool = Pool(PoolConfig(n_machines=0))
+        pool.add_machine("smp", slots=2, memory=1024 * MB)
+        pool.add_machine("spare", slots=1, memory=1024 * MB)
+        jobs = [java_job(f"1.{i}", work=200.0) for i in range(2)]
+        for job in jobs:
+            job.rank = 'ifThenElse(TARGET.machine == "smp", 10, 0)'
+            pool.submit(job)
+        pool.run(until=60.0)
+        running_on_smp = [j for j in jobs if j.state is JobState.RUNNING]
+        assert len(running_on_smp) == 2
+        FaultInjector(pool).schedule(OwnerActivity("smp"), at=60.0, until=10_000.0)
+        pool.run_until_done(max_time=200_000)
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+        for job in jobs:
+            assert any(a.error_name.startswith("Evicted") for a in job.attempts)
+
+    def test_smp_black_hole_eats_in_parallel(self):
+        """A misconfigured SMP is a multi-mouth black hole."""
+        pool = Pool(PoolConfig(n_machines=0))
+        pool.add_machine("bh", slots=4)
+        pool.add_machine("good", slots=1)
+        FaultInjector(pool).schedule(MisconfiguredJvm("bh"))
+        jobs = [java_job(f"1.{i}", work=5.0) for i in range(4)]
+        for job in jobs:
+            pool.submit(job)
+        pool.run_until_done(max_time=200_000)
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+        wasted = [a for j in jobs for a in j.attempts if a.error_scope is not None]
+        assert all(a.site == "bh" for a in wasted)
+        assert len(wasted) >= 2  # several slots failed in the same cycle

@@ -1,0 +1,137 @@
+"""Tests for the submit-description language."""
+
+import pytest
+
+from repro.condor import JobState, Pool, PoolConfig, Universe
+from repro.condor.submit import SubmitError, parse_submit
+from repro.jvm.program import JavaProgram, Step
+
+BASIC = """
+# my first submission
+universe     = java
+executable   = Main.class
+requirements = TARGET.memory >= 64
+rank         = TARGET.cpuspeed
+heap_request = 32M
+owner        = alice
+queue 3
+"""
+
+
+class TestParsing:
+    def test_basic_queue(self):
+        jobs = parse_submit(BASIC, cluster=7)
+        assert [j.job_id for j in jobs] == ["7.0", "7.1", "7.2"]
+        assert all(j.universe is Universe.JAVA for j in jobs)
+        assert all(j.owner == "alice" for j in jobs)
+        assert all(j.heap_request == 32 * 2**20 for j in jobs)
+        assert jobs[0].requirements == "TARGET.memory >= 64"
+
+    def test_bare_queue_is_one(self):
+        jobs = parse_submit("executable = a.out\nqueue\n")
+        assert len(jobs) == 1
+        assert jobs[0].universe is Universe.VANILLA
+
+    def test_multiple_queue_statements_snapshot_state(self):
+        source = """
+        executable = a.out
+        owner = alice
+        queue 1
+        owner = bob
+        queue 2
+        """
+        jobs = parse_submit(source)
+        assert [j.owner for j in jobs] == ["alice", "bob", "bob"]
+        assert [j.job_id for j in jobs] == ["1.0", "1.1", "1.2"]
+
+    def test_input_files_with_and_without_mapping(self):
+        source = """
+        executable = a.out
+        input_files = table.dat = /home/user/t.dat, /home/user/raw.bin
+        queue
+        """
+        [job] = parse_submit(source)
+        assert job.input_files == {
+            "table.dat": "/home/user/t.dat",
+            "raw.bin": "/home/user/raw.bin",
+        }
+
+    def test_sizes_with_suffixes(self):
+        source = "executable = a.out\nimage_size = 2M\nheap_request = 512K\nqueue\n"
+        [job] = parse_submit(source)
+        assert job.image_size == 2 * 2**20
+        assert job.heap_request == 512 * 2**10
+
+    def test_programs_attached_by_executable_name(self):
+        program = JavaProgram(steps=[Step.exit(9)])
+        [job] = parse_submit(
+            "executable = Main.class\nuniverse = java\nqueue\n",
+            programs={"Main.class": program},
+        )
+        assert job.image.program is program
+
+    def test_comments_and_blanks_ignored(self):
+        jobs = parse_submit("# hi\n\nexecutable = a.out\n\n# mid\nqueue 1\n")
+        assert len(jobs) == 1
+
+
+class TestErrors:
+    def test_no_queue_rejected(self):
+        with pytest.raises(SubmitError, match="no queue"):
+            parse_submit("executable = a.out\n")
+
+    def test_queue_before_executable(self):
+        with pytest.raises(SubmitError, match="before executable"):
+            parse_submit("queue 1\n")
+
+    def test_unknown_key_with_line_number(self):
+        with pytest.raises(SubmitError, match="line 2"):
+            parse_submit("executable = a.out\nfrobnicate = yes\nqueue\n")
+
+    def test_unknown_universe(self):
+        with pytest.raises(SubmitError, match="unknown universe"):
+            parse_submit("universe = pvm3000\nexecutable = a\nqueue\n")
+
+    def test_bad_requirements_rejected_at_submit_time(self):
+        """Principle 4 at the submit interface: malformed contracts are
+        refused before they can poison matchmaking."""
+        with pytest.raises(SubmitError, match="bad requirements"):
+            parse_submit("executable = a\nrequirements = ((broken\nqueue\n")
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(SubmitError, match="bad rank"):
+            parse_submit('executable = a\nrank = "unclosed\nqueue\n')
+
+    def test_bad_queue_count(self):
+        with pytest.raises(SubmitError, match="bad queue count"):
+            parse_submit("executable = a\nqueue lots\n")
+        with pytest.raises(SubmitError, match="positive"):
+            parse_submit("executable = a\nqueue 0\n")
+
+    def test_bad_size(self):
+        with pytest.raises(SubmitError, match="bad size"):
+            parse_submit("executable = a\nimage_size = big\nqueue\n")
+
+    def test_missing_equals(self):
+        with pytest.raises(SubmitError, match="expected 'key = value'"):
+            parse_submit("executable a.out\nqueue\n")
+
+
+class TestEndToEndSubmission:
+    def test_submit_file_runs_on_pool(self):
+        pool = Pool(PoolConfig(n_machines=2))
+        program = JavaProgram(steps=[Step.compute(3.0), Step.exit(2)])
+        jobs = parse_submit(
+            """
+            universe = java
+            executable = Main.class
+            owner = alice
+            queue 2
+            """,
+            programs={"Main.class": program},
+        )
+        for job in jobs:
+            pool.submit(job)
+        pool.run_until_done(max_time=50_000)
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+        assert all(j.final_result.exit_code == 2 for j in jobs)

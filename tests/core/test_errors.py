@@ -1,0 +1,119 @@
+"""Tests for the error taxonomy objects."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import (
+    ErrorKind,
+    EscapingError,
+    GridError,
+    escaping,
+    explicit,
+    implicit,
+)
+from repro.core.scope import ErrorScope
+
+
+def test_explicit_constructor():
+    err = explicit("FileNotFound", ErrorScope.FILE, detail="/etc/none", origin="fs")
+    assert err.kind is ErrorKind.EXPLICIT
+    assert err.scope is ErrorScope.FILE
+    assert err.detail == "/etc/none"
+    assert err.cause is None
+
+
+def test_implicit_constructor():
+    err = implicit("SilentCorruption", ErrorScope.FILE)
+    assert err.kind is ErrorKind.IMPLICIT
+
+
+def test_escaping_constructor_is_raisable():
+    exc = escaping("ConnectionLost", ErrorScope.PROCESS)
+    assert isinstance(exc, Exception)
+    assert exc.error.kind is ErrorKind.ESCAPING
+    assert exc.scope is ErrorScope.PROCESS
+    with pytest.raises(EscapingError):
+        raise exc
+
+
+def test_escaping_error_wraps_and_upgrades():
+    plain = explicit("DiskFull", ErrorScope.FILE)
+    exc = EscapingError(plain)
+    assert exc.error.kind is ErrorKind.ESCAPING
+    assert exc.error.cause is plain
+
+
+def test_rescoped_links_cause_and_widens():
+    low = explicit("ConnectionLost", ErrorScope.PROCESS, origin="rpc")
+    high = low.rescoped(ErrorScope.LOCAL_RESOURCE, by="shadow")
+    assert high.scope is ErrorScope.LOCAL_RESOURCE
+    assert high.cause is low
+    assert high.origin == "shadow"
+    assert high.error_id == low.error_id  # identity preserved for tracing
+
+
+def test_as_escaping_idempotent():
+    err = explicit("X", ErrorScope.JOB)
+    esc = err.as_escaping()
+    assert esc.kind is ErrorKind.ESCAPING
+    assert esc.as_escaping() is esc
+
+
+def test_as_explicit_round_trip():
+    err = explicit("X", ErrorScope.JOB)
+    esc = err.as_escaping(by="iface")
+    back = esc.as_explicit(by="starter")
+    assert back.kind is ErrorKind.EXPLICIT
+    assert back.cause is esc
+    assert err.as_explicit() is err
+
+
+def test_renamed_translates_vocabulary():
+    fs_err = explicit("ENOENT", ErrorScope.FILE, origin="fs")
+    java = fs_err.renamed("FileNotFoundException", by="io-library")
+    assert java.name == "FileNotFoundException"
+    assert java.cause is fs_err
+
+
+def test_root_cause_and_chain():
+    a = explicit("A", ErrorScope.FILE)
+    b = a.rescoped(ErrorScope.PROCESS)
+    c = b.as_escaping()
+    assert c.root_cause() is a
+    assert c.chain() == [c, b, a]
+
+
+def test_error_ids_unique():
+    ids = {explicit("E", ErrorScope.FILE).error_id for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_str_is_informative():
+    err = explicit("DiskFull", ErrorScope.FILE, detail="quota")
+    s = str(err)
+    assert "DiskFull" in s and "file" in s and "explicit" in s and "quota" in s
+
+
+def test_frozen():
+    err = explicit("E", ErrorScope.FILE)
+    with pytest.raises(AttributeError):
+        err.name = "other"  # type: ignore[misc]
+
+
+scopes = st.sampled_from(list(ErrorScope))
+
+
+@given(scopes, scopes)
+def test_rescope_then_rescope_preserves_root(a, b):
+    root = explicit("R", a)
+    twice = root.rescoped(b).rescoped(a.expand(b))
+    assert twice.root_cause() is root
+    assert len(twice.chain()) == 3
+
+
+@given(st.text(min_size=1, max_size=20), scopes)
+def test_escaping_factory_always_escapes(name, scope):
+    exc = escaping(name, scope)
+    assert exc.error.kind is ErrorKind.ESCAPING
+    assert exc.error.name == name

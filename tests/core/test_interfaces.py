@@ -1,0 +1,115 @@
+"""Tests for finite error interfaces (Principle 4) and the conversion
+checkpoint (Principle 2)."""
+
+import pytest
+
+from repro.core.errors import ErrorKind, EscapingError, explicit
+from repro.core.interfaces import ErrorInterface, InterfaceViolation
+from repro.core.scope import ErrorScope
+
+
+@pytest.fixture
+def file_writer():
+    """The paper's revised FileWriter interface (§3.4)."""
+    iface = ErrorInterface("FileWriter")
+    iface.operation("open", {"FileNotFound", "AccessDenied"})
+    iface.operation("write", {"DiskFull"})
+    return iface
+
+
+@pytest.fixture
+def generic_writer():
+    """The paper's criticized IOException-style interface (§3.4)."""
+    iface = ErrorInterface("GenericFileWriter")
+    iface.operation("open", {"FileNotFound", "EndOfFile"}, generic=True)
+    iface.operation("write", {"FileNotFound", "EndOfFile"}, generic=True)
+    return iface
+
+
+def test_declared_error_passes(file_writer):
+    err = explicit("FileNotFound", ErrorScope.FILE)
+    assert file_writer.vet("open", err) is err
+
+
+def test_undeclared_error_escapes(file_writer):
+    """'Would it be reasonable for write to throw a FileNotFound? Of course
+    not!' -- so it must escape (P2)."""
+    err = explicit("FileNotFound", ErrorScope.FILE)
+    with pytest.raises(EscapingError) as exc:
+        file_writer.vet("write", err)
+    assert exc.value.error.kind is ErrorKind.ESCAPING
+    assert exc.value.error.cause is err
+
+
+def test_connection_lost_escapes_everywhere(file_writer):
+    """'...a new type of fault, such as ConnectionLost ... must be
+    communicated with an escaping error according to Principle 2.'"""
+    err = explicit("ConnectionLost", ErrorScope.PROCESS)
+    for op in ("open", "write"):
+        with pytest.raises(EscapingError):
+            file_writer.vet(op, err)
+
+
+def test_escaping_error_reraised_not_returned(file_writer):
+    esc = explicit("DiskFull", ErrorScope.FILE).as_escaping()
+    with pytest.raises(EscapingError):
+        file_writer.vet("write", esc)
+
+
+def test_generic_interface_lets_anything_through(generic_writer):
+    """The IOException anti-pattern: undocumented errors pass as results."""
+    err = explicit("CredentialExpired", ErrorScope.LOCAL_RESOURCE)
+    assert generic_writer.vet("write", err) is err
+    assert generic_writer.generic_passes() == 1
+
+
+def test_generic_pass_not_counted_for_documented(generic_writer):
+    err = explicit("FileNotFound", ErrorScope.FILE)
+    generic_writer.vet("open", err)
+    assert generic_writer.generic_passes() == 0
+
+
+def test_conversion_counter(file_writer):
+    err = explicit("ConnectionLost", ErrorScope.PROCESS)
+    with pytest.raises(EscapingError):
+        file_writer.vet("open", err)
+    with pytest.raises(EscapingError):
+        file_writer.vet("write", err)
+    assert file_writer.conversions() == 2
+
+
+def test_crossings_recorded(file_writer):
+    err = explicit("FileNotFound", ErrorScope.FILE)
+    file_writer.vet("open", err, time=3.5)
+    assert len(file_writer.crossings) == 1
+    crossing = file_writer.crossings[0]
+    assert crossing.declared and not crossing.converted_to_escaping
+    assert crossing.time == 3.5
+
+
+def test_unknown_operation_is_a_bug(file_writer):
+    with pytest.raises(InterfaceViolation):
+        file_writer.vet("fsync", explicit("X", ErrorScope.FILE))
+
+
+def test_duplicate_operation_is_a_bug(file_writer):
+    with pytest.raises(InterfaceViolation):
+        file_writer.operation("open", set())
+
+
+def test_operation_str(file_writer, generic_writer):
+    assert "FileWriter.open throws AccessDenied, FileNotFound" == str(file_writer["open"])
+    assert str(generic_writer["open"]).endswith("...")
+
+
+def test_operations_listing(file_writer):
+    assert sorted(op.name for op in file_writer.operations()) == ["open", "write"]
+
+
+def test_empty_error_set_operation():
+    iface = ErrorInterface("Clock")
+    iface.operation("now")
+    assert "throws nothing" in str(iface["now"])
+    err = explicit("Anything", ErrorScope.FILE)
+    with pytest.raises(EscapingError):
+        iface.vet("now", err)

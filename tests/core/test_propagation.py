@@ -1,0 +1,201 @@
+"""Tests for scope managers and the propagation engine (Principle 3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import explicit
+from repro.core.propagation import (
+    Action,
+    EventType,
+    ManagementChain,
+    PropagationTrace,
+    ScopeManager,
+)
+from repro.core.scope import ErrorScope
+
+
+def java_universe_chain(policies=None):
+    """Build the Figure-3 chain; *policies* maps manager name -> policy."""
+    policies = policies or {}
+    spec = [
+        ("program", {ErrorScope.FILE, ErrorScope.FUNCTION}),
+        ("wrapper", {ErrorScope.PROGRAM, ErrorScope.PROCESS}),
+        ("starter", {ErrorScope.VIRTUAL_MACHINE, ErrorScope.CLUSTER}),
+        ("shadow", {ErrorScope.REMOTE_RESOURCE}),
+        ("schedd", {ErrorScope.LOCAL_RESOURCE, ErrorScope.JOB}),
+        ("user", {ErrorScope.POOL}),
+    ]
+    return ManagementChain(
+        [ScopeManager(name, scopes, policies.get(name)) for name, scopes in spec]
+    )
+
+
+def test_error_delivered_to_scope_manager():
+    chain = java_universe_chain()
+    err = explicit("OutOfMemoryError", ErrorScope.VIRTUAL_MACHINE)
+    outcome = chain.propagate(err, discovered_by="wrapper", time=1.0)
+    assert outcome.handler == "starter"
+    assert outcome.action is Action.REPORT
+    assert outcome.hops == 1  # escalated past the wrapper only
+
+
+def test_file_scope_handled_by_program():
+    chain = java_universe_chain()
+    err = explicit("FileNotFound", ErrorScope.FILE)
+    outcome = chain.propagate(err, discovered_by="program")
+    assert outcome.handler == "program"
+    assert outcome.hops == 0
+
+
+def test_job_scope_reaches_schedd():
+    chain = java_universe_chain()
+    err = explicit("CorruptImageError", ErrorScope.JOB)
+    outcome = chain.propagate(err, discovered_by="wrapper")
+    assert outcome.handler == "schedd"
+
+
+def test_propagation_only_travels_outward():
+    """A LOCAL_RESOURCE error discovered at the shadow must go out to the
+    schedd, never back in to the program."""
+    chain = java_universe_chain()
+    err = explicit("HomeFilesystemOffline", ErrorScope.LOCAL_RESOURCE)
+    outcome = chain.propagate(err, discovered_by="shadow")
+    assert outcome.handler == "schedd"
+    escalated = [e.manager for e in chain.trace if e.event is EventType.ESCALATED]
+    assert escalated == ["shadow"]
+
+
+def test_mask_policy_absorbs():
+    chain = java_universe_chain(
+        policies={"starter": lambda mgr, err: Action.MASK}
+    )
+    err = explicit("OutOfMemoryError", ErrorScope.VIRTUAL_MACHINE)
+    outcome = chain.propagate(err, discovered_by="wrapper")
+    assert outcome.masked
+    assert chain.trace.count(EventType.MASKED) == 1
+    assert chain.trace.count(EventType.REPORTED) == 0
+
+
+def test_policy_returning_none_reports():
+    chain = java_universe_chain(policies={"schedd": lambda mgr, err: None})
+    err = explicit("CorruptImageError", ErrorScope.JOB)
+    assert chain.propagate(err, "wrapper").action is Action.REPORT
+
+
+def test_policy_cannot_escalate_from_delivery():
+    chain = java_universe_chain(policies={"schedd": lambda mgr, err: Action.ESCALATE})
+    err = explicit("CorruptImageError", ErrorScope.JOB)
+    assert chain.propagate(err, "wrapper").action is Action.REPORT
+
+
+def test_unmanaged_error_recorded():
+    chain = ManagementChain(
+        [ScopeManager("only", {ErrorScope.FILE})]
+    )
+    err = explicit("MatchmakerGone", ErrorScope.POOL)
+    outcome = chain.propagate(err, discovered_by="only")
+    assert outcome.handler is None
+    assert chain.trace.count(EventType.UNMANAGED) == 1
+
+
+def test_misdeliver_recorded_as_mishandled():
+    chain = java_universe_chain()
+    err = explicit("OutOfMemoryError", ErrorScope.VIRTUAL_MACHINE)
+    chain.misdeliver(err, consumed_by="user", time=2.0)
+    events = chain.trace.for_error(err)
+    assert [e.event for e in events] == [EventType.MISHANDLED]
+
+
+def test_trace_journey_order():
+    chain = java_universe_chain()
+    err = explicit("JvmMisconfigured", ErrorScope.REMOTE_RESOURCE)
+    chain.propagate(err, discovered_by="starter", time=5.0)
+    kinds = [e.event for e in chain.trace.for_error(err)]
+    assert kinds == [
+        EventType.DISCOVERED,
+        EventType.ESCALATED,  # starter does not manage remote-resource
+        EventType.DELIVERED,  # shadow does
+        EventType.REPORTED,
+    ]
+
+
+def test_trace_terminal():
+    chain = java_universe_chain()
+    err = explicit("X", ErrorScope.JOB)
+    chain.propagate(err, "program")
+    terminal = chain.trace.terminal(err)
+    assert terminal is not None and terminal.event is EventType.REPORTED
+    fresh = explicit("Y", ErrorScope.JOB)
+    assert chain.trace.terminal(fresh) is None
+
+
+def test_manager_handled_log():
+    chain = java_universe_chain()
+    err = explicit("X", ErrorScope.VIRTUAL_MACHINE)
+    chain.propagate(err, "wrapper")
+    starter = chain["starter"]
+    assert starter.handled == [(err, Action.REPORT)]
+
+
+def test_manager_for():
+    chain = java_universe_chain()
+    assert chain.manager_for(ErrorScope.JOB).name == "schedd"
+    chain_small = ManagementChain([ScopeManager("m", {ErrorScope.FILE})])
+    assert chain_small.manager_for(ErrorScope.POOL) is None
+
+
+def test_chain_validation():
+    with pytest.raises(ValueError):
+        ManagementChain([])
+    with pytest.raises(ValueError):
+        ManagementChain(
+            [ScopeManager("a", {ErrorScope.FILE}), ScopeManager("a", {ErrorScope.JOB})]
+        )
+
+
+def test_unknown_manager_lookup():
+    chain = java_universe_chain()
+    with pytest.raises(KeyError):
+        chain["nobody"]
+    with pytest.raises(KeyError):
+        chain.index("nobody")
+
+
+def test_trace_render_mentions_events():
+    chain = java_universe_chain()
+    chain.propagate(explicit("X", ErrorScope.JOB), "program")
+    text = chain.trace.render()
+    assert "discovered" in text and "reported" in text
+
+
+scopes = st.sampled_from(list(ErrorScope))
+starts = st.sampled_from(["program", "wrapper", "starter", "shadow", "schedd", "user"])
+
+
+@given(scopes, starts)
+def test_property_delivery_matches_scope(scope, start):
+    """For any scope and discovery point, the handler (if any) manages the
+    scope, and no manager inside the discovery point is visited."""
+    chain = java_universe_chain()
+    err = explicit("E", scope)
+    outcome = chain.propagate(err, discovered_by=start)
+    if outcome.handler is not None:
+        handler = chain[outcome.handler]
+        assert handler.manages(scope)
+        # handler must not be inside the discovery point
+        assert chain.index(outcome.handler) >= chain.index(start)
+    else:
+        # nobody outward of start manages this scope
+        for mgr in chain.managers[chain.index(start):]:
+            assert not mgr.manages(scope)
+
+
+@given(scopes, starts)
+def test_property_trace_starts_with_discovery(scope, start):
+    chain = java_universe_chain()
+    err = explicit("E", scope)
+    chain.propagate(err, discovered_by=start)
+    journey = chain.trace.for_error(err)
+    assert journey[0].event is EventType.DISCOVERED
+    assert journey[0].manager == start

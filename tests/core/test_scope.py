@@ -1,0 +1,112 @@
+"""Tests for the error-scope lattice, including hypothesis property tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.scope import GENERIC_CHAIN, JAVA_UNIVERSE_CHAIN, ErrorScope
+
+scopes = st.sampled_from(list(ErrorScope))
+
+
+def test_total_order_matches_paper():
+    assert ErrorScope.FILE < ErrorScope.FUNCTION < ErrorScope.PROGRAM
+    assert ErrorScope.PROGRAM < ErrorScope.PROCESS < ErrorScope.VIRTUAL_MACHINE
+    assert ErrorScope.VIRTUAL_MACHINE < ErrorScope.CLUSTER < ErrorScope.REMOTE_RESOURCE
+    assert ErrorScope.REMOTE_RESOURCE < ErrorScope.LOCAL_RESOURCE < ErrorScope.JOB
+    assert ErrorScope.JOB < ErrorScope.POOL
+
+
+def test_contains_is_order():
+    assert ErrorScope.JOB.contains(ErrorScope.FILE)
+    assert not ErrorScope.FILE.contains(ErrorScope.JOB)
+    assert ErrorScope.PROGRAM.contains(ErrorScope.PROGRAM)
+
+
+@given(scopes, scopes)
+def test_expand_is_join(a, b):
+    joined = a.expand(b)
+    assert joined.contains(a) and joined.contains(b)
+    assert joined in (a, b)  # join of a chain is one of the operands
+
+
+@given(scopes, scopes)
+def test_expand_commutative(a, b):
+    assert a.expand(b) == b.expand(a)
+
+
+@given(scopes, scopes, scopes)
+def test_expand_associative(a, b, c):
+    assert a.expand(b).expand(c) == a.expand(b.expand(c))
+
+
+@given(scopes)
+def test_expand_idempotent(a):
+    assert a.expand(a) == a
+
+
+@given(scopes, scopes)
+def test_contains_antisymmetric(a, b):
+    if a.contains(b) and b.contains(a):
+        assert a == b
+
+
+@given(scopes, scopes, scopes)
+def test_contains_transitive(a, b, c):
+    if a.contains(b) and b.contains(c):
+        assert a.contains(c)
+
+
+def test_program_contract_boundary():
+    """Scopes up to PROGRAM are legitimate program results (paper §3.3)."""
+    assert ErrorScope.FILE.within_program_contract
+    assert ErrorScope.FUNCTION.within_program_contract
+    assert ErrorScope.PROGRAM.within_program_contract
+    assert not ErrorScope.VIRTUAL_MACHINE.within_program_contract
+    assert not ErrorScope.JOB.within_program_contract
+
+
+def test_schedd_last_line_of_defense():
+    """Program scope -> complete; job scope -> unexecutable; between -> retry."""
+    assert ErrorScope.PROGRAM.terminal_for_job
+    assert ErrorScope.JOB.terminal_for_job
+    assert ErrorScope.POOL.terminal_for_job
+    for scope in (
+        ErrorScope.PROCESS,
+        ErrorScope.VIRTUAL_MACHINE,
+        ErrorScope.CLUSTER,
+        ErrorScope.REMOTE_RESOURCE,
+        ErrorScope.LOCAL_RESOURCE,
+    ):
+        assert scope.retry_elsewhere
+        assert not scope.terminal_for_job
+
+
+@given(scopes)
+def test_retry_and_terminal_partition(scope):
+    """Every scope is exactly one of: retryable-elsewhere or terminal."""
+    assert scope.retry_elsewhere != scope.terminal_for_job
+
+
+def test_managing_programs_follow_figure_3():
+    assert ErrorScope.VIRTUAL_MACHINE.managing_program == "starter"
+    assert ErrorScope.REMOTE_RESOURCE.managing_program == "shadow"
+    assert ErrorScope.LOCAL_RESOURCE.managing_program == "schedd"
+    assert ErrorScope.JOB.managing_program == "schedd"
+    assert ErrorScope.POOL.managing_program == "user"
+
+
+@given(scopes)
+def test_every_scope_has_a_manager(scope):
+    assert isinstance(scope.managing_program, str) and scope.managing_program
+
+
+def test_chains_are_orderly():
+    assert JAVA_UNIVERSE_CHAIN[0] == "program"
+    assert JAVA_UNIVERSE_CHAIN[-1] == "user"
+    assert len(set(JAVA_UNIVERSE_CHAIN)) == len(JAVA_UNIVERSE_CHAIN)
+    assert len(set(GENERIC_CHAIN)) == len(GENERIC_CHAIN)
+
+
+def test_str_form():
+    assert str(ErrorScope.VIRTUAL_MACHINE) == "virtual-machine"
+    assert str(ErrorScope.FILE) == "file"

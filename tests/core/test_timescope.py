@@ -1,0 +1,74 @@
+"""Tests for time-dependent scope resolution (§5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.scope import ErrorScope
+from repro.core.timescope import DEFAULT_LADDER, EscalationLadder, TimeScopeEscalator
+
+
+class TestLadder:
+    def test_default_ladder_valid(self):
+        ladder = EscalationLadder()
+        assert ladder.scope_for(0.0) is ErrorScope.PROCESS
+        assert ladder.scope_for(59.9) is ErrorScope.PROCESS
+        assert ladder.scope_for(60.0) is ErrorScope.REMOTE_RESOURCE
+        assert ladder.scope_for(3600.0) is ErrorScope.JOB
+
+    def test_ladder_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            EscalationLadder(((5.0, ErrorScope.PROCESS),))
+
+    def test_ladder_durations_monotone(self):
+        with pytest.raises(ValueError):
+            EscalationLadder(
+                ((0.0, ErrorScope.PROCESS), (50.0, ErrorScope.JOB),
+                 (10.0, ErrorScope.REMOTE_RESOURCE))
+            )
+
+    def test_ladder_scopes_must_widen(self):
+        with pytest.raises(ValueError):
+            EscalationLadder(
+                ((0.0, ErrorScope.JOB), (60.0, ErrorScope.PROCESS))
+            )
+
+    @given(st.floats(min_value=0.0, max_value=10**6, allow_nan=False))
+    def test_scope_monotone_in_duration(self, duration):
+        ladder = EscalationLadder()
+        assert ladder.scope_for(duration + 1.0) >= ladder.scope_for(duration)
+
+
+class TestEscalator:
+    def test_first_failure_is_narrow(self):
+        esc = TimeScopeEscalator()
+        assert esc.record_failure("svc", now=100.0) is ErrorScope.PROCESS
+
+    def test_persistent_failure_escalates(self):
+        esc = TimeScopeEscalator()
+        esc.record_failure("svc", now=0.0)
+        assert esc.record_failure("svc", now=61.0) is ErrorScope.REMOTE_RESOURCE
+        assert esc.record_failure("svc", now=4000.0) is ErrorScope.JOB
+
+    def test_success_resets_the_clock(self):
+        esc = TimeScopeEscalator()
+        esc.record_failure("svc", now=0.0)
+        esc.record_success("svc")
+        assert esc.record_failure("svc", now=100.0) is ErrorScope.PROCESS
+        assert esc.outage_duration("svc", now=100.0) == 0.0
+
+    def test_targets_independent(self):
+        esc = TimeScopeEscalator()
+        esc.record_failure("a", now=0.0)
+        assert esc.record_failure("b", now=200.0) is ErrorScope.PROCESS
+        assert esc.record_failure("a", now=200.0) is ErrorScope.REMOTE_RESOURCE
+
+    def test_failure_count(self):
+        esc = TimeScopeEscalator()
+        for t in (0.0, 1.0, 2.0):
+            esc.record_failure("svc", now=t)
+        assert esc.failures("svc") == 3
+        assert esc.failures("other") == 0
+
+    def test_outage_duration_healthy_target(self):
+        assert TimeScopeEscalator().outage_duration("never-seen", now=42.0) == 0.0

@@ -1,0 +1,183 @@
+"""Tests for the end-to-end layer and silent data corruption (§5)."""
+
+import pytest
+
+from repro.condor import Job, JobState, Pool, PoolConfig, ProgramImage, Universe
+from repro.core.result import ResultFile
+from repro.e2e import EndToEndManager, JobValidation, OutputExpectation
+from repro.faults import FaultInjector
+from repro.faults.faults import SilentDataCorruption
+from repro.jvm.program import JavaProgram, Step, transform_bytes
+
+
+def transform_job(pool, job_id="1.0", payload=b"precious-data"):
+    src = f"/home/user/in-{job_id}.dat"
+    dst = f"/home/user/out-{job_id}.dat"
+    pool.home_fs.write_file(src, payload)
+    program = JavaProgram(steps=[Step.transform(src, dst)])
+    job = Job(job_id, owner="thain", universe=Universe.JAVA,
+              image=ProgramImage(f"{job_id}.class", program=program))
+    validation = JobValidation(
+        expectations=[OutputExpectation(dst, transform_bytes(payload))],
+        expected_result=ResultFile.completed(0),
+    )
+    return job, validation
+
+
+class TestTransformStep:
+    def test_transform_bytes_involution(self):
+        data = b"abcdef"
+        assert transform_bytes(transform_bytes(data)) == data
+
+    def test_transform_writes_reversal(self):
+        pool = Pool(PoolConfig(n_machines=1))
+        job, _ = transform_job(pool, payload=b"12345")
+        pool.submit(job)
+        pool.run_until_done(max_time=50_000)
+        assert job.state is JobState.COMPLETED
+        assert pool.home_fs.read_file("/home/user/out-1.0.dat") == b"54321"
+
+
+class TestSilentCorruption:
+    def test_corruption_changes_output_silently(self):
+        pool = Pool(PoolConfig(n_machines=1, seed=5))
+        FaultInjector(pool).schedule(SilentDataCorruption(1.0))
+        job, validation = transform_job(pool)
+        pool.submit(job)
+        pool.run_until_done(max_time=50_000)
+        # The job "succeeded" -- that is exactly the problem.
+        assert job.state is JobState.COMPLETED
+        assert job.final_result.exit_code == 0
+        assert pool.net.corruptions > 0
+        assert validation.validate(job, pool.home_fs)  # but the output is wrong
+
+    def test_corruption_excluded_from_p1_audit(self):
+        """Silent corruption is an implicit error the system never saw --
+        not a P1 violation of the propagation machinery."""
+        pool = Pool(PoolConfig(n_machines=1, seed=5))
+        injector = FaultInjector(pool)
+        injector.schedule(SilentDataCorruption(1.0))
+        job, _ = transform_job(pool)
+        job.expected_result = ResultFile.completed(0)
+        pool.submit(job)
+        pool.run_until_done(max_time=50_000)
+        records = injector.audit_outcomes([job])
+        assert records[0].truth_scope is None
+
+    def test_zero_probability_never_corrupts(self):
+        pool = Pool(PoolConfig(n_machines=1, seed=5))
+        FaultInjector(pool).schedule(SilentDataCorruption(0.0))
+        job, validation = transform_job(pool)
+        pool.submit(job)
+        pool.run_until_done(max_time=50_000)
+        assert validation.validate(job, pool.home_fs) == []
+
+    def test_disarm_stops_corruption(self):
+        pool = Pool(PoolConfig(n_machines=1, seed=5))
+        fault = SilentDataCorruption(1.0)
+        fault.arm(pool)
+        fault.disarm(pool)
+        assert pool.net.corrupt_probability == 0.0
+
+    def test_corruption_spares_control_messages(self):
+        """Only Chirp/RPC reply payloads are eligible: the kernel's control
+        protocols still work under full corruption."""
+        pool = Pool(PoolConfig(n_machines=2, seed=5))
+        FaultInjector(pool).schedule(SilentDataCorruption(1.0))
+        program = JavaProgram(steps=[Step.compute(3.0), Step.exit(4)])
+        job = Job("9.0", owner="thain", universe=Universe.JAVA,
+                  image=ProgramImage("x.class", program=program))
+        pool.submit(job)
+        pool.run_until_done(max_time=50_000)
+        assert job.state is JobState.COMPLETED
+        assert job.final_result.exit_code == 4
+
+
+class TestValidator:
+    def test_missing_output_reported(self):
+        pool = Pool(PoolConfig(n_machines=1))
+        validation = JobValidation(
+            expectations=[OutputExpectation("/home/user/none", b"x")]
+        )
+        job, _ = transform_job(pool, job_id="2.0")
+        pool.submit(job)
+        pool.run_until_done(max_time=50_000)
+        problems = validation.validate(job, pool.home_fs)
+        assert problems and "missing" in problems[0]
+
+    def test_incomplete_job_reported(self):
+        pool = Pool(PoolConfig(n_machines=1))
+        job, validation = transform_job(pool, job_id="3.0")
+        # never submitted/run
+        problems = validation.validate(job, pool.home_fs)
+        assert problems and "not completed" in problems[0]
+
+    def test_result_mismatch_reported(self):
+        pool = Pool(PoolConfig(n_machines=1))
+        job, _ = transform_job(pool, job_id="4.0")
+        validation = JobValidation(expected_result=ResultFile.completed(77))
+        pool.submit(job)
+        pool.run_until_done(max_time=50_000)
+        problems = validation.validate(job, pool.home_fs)
+        assert problems and "result mismatch" in problems[0]
+
+
+class TestEndToEndManager:
+    def test_clean_run_accepted_without_resubmits(self):
+        pool = Pool(PoolConfig(n_machines=2))
+        manager = EndToEndManager(pool)
+        job, validation = transform_job(pool)
+        lineage = manager.submit(job, validation)
+        manager.run()
+        assert lineage.valid
+        assert lineage.resubmits == 0
+        assert manager.summary()["valid"] == 1
+
+    def test_corrupted_run_resubmitted_until_valid(self):
+        pool = Pool(PoolConfig(n_machines=2, seed=11))
+        injector = FaultInjector(pool)
+        # Corrupt heavily but not always: a retry can succeed.
+        injector.schedule(SilentDataCorruption(0.5))
+        manager = EndToEndManager(pool, max_resubmits=8)
+        job, validation = transform_job(pool)
+        lineage = manager.submit(job, validation)
+        manager.run()
+        assert lineage.valid
+        assert lineage.resubmits > 0
+        assert lineage.problems_seen
+
+    def test_budget_exhaustion_leaves_lineage_invalid(self):
+        pool = Pool(PoolConfig(n_machines=2, seed=11))
+        manager = EndToEndManager(pool, max_resubmits=2)
+        job, _ = transform_job(pool)
+        # A validation no run can ever satisfy: the budget must run out.
+        hopeless = JobValidation(
+            expectations=[OutputExpectation("/home/user/out-1.0.dat", b"impossible")]
+        )
+        lineage = manager.submit(job, hopeless)
+        manager.run()
+        assert not lineage.valid
+        assert lineage.resubmits == 2
+        assert manager.summary()["invalid"] == 1
+
+    def test_catches_condor_failures_too(self):
+        """'...or failures in Condor itself': a held job fails validation."""
+        from repro.faults import CorruptProgramImage
+
+        pool = Pool(PoolConfig(n_machines=2))
+        manager = EndToEndManager(pool, max_resubmits=1)
+        job, validation = transform_job(pool)
+        lineage = manager.submit(job, validation)
+        FaultInjector(pool).schedule(CorruptProgramImage(job.job_id))
+        manager.run()
+        assert not lineage.valid or lineage.resubmits > 0
+        assert any("not completed" in p for p in lineage.problems_seen)
+
+    def test_clone_preserves_job_identity_fields(self):
+        pool = Pool(PoolConfig(n_machines=1))
+        job, _ = transform_job(pool, job_id="7.0")
+        clone = EndToEndManager._clone(job, attempt=2)
+        assert clone.job_id == "7.0r2"
+        assert clone.owner == job.owner
+        assert clone.image.program is job.image.program
+        assert clone.universe is job.universe

@@ -1,0 +1,41 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.harness.__main__ import EXPERIMENTS, main, run_experiment
+
+
+def test_every_registered_experiment_exists():
+    for name, (fn, _) in EXPERIMENTS.items():
+        assert callable(fn), name
+
+
+def test_run_experiment_fig4():
+    text = run_experiment("fig4")
+    assert "JVM Result Code" in text
+
+
+def test_run_experiment_with_seed():
+    text = run_experiment("fig1", seed=5)
+    assert "FIG1" in text
+
+
+def test_unknown_experiment_exits():
+    with pytest.raises(SystemExit):
+        run_experiment("nonsense")
+
+
+def test_main_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4" in out and "naive_vs_scoped" in out
+
+
+def test_main_no_args_lists(capsys):
+    assert main([]) == 0
+    assert "experiments:" in capsys.readouterr().out
+
+
+def test_main_runs_one(capsys):
+    assert main(["time_scope"]) == 0
+    assert "EXP-SCOPE-TIME" in capsys.readouterr().out

@@ -1,0 +1,60 @@
+"""Tests for seed replication, including the headline shape across seeds."""
+
+import pytest
+
+from repro.harness.replicate import Replication, replicate
+
+
+class TestReplicateMechanics:
+    def test_aggregation(self):
+        rep = replicate(lambda seed: {"x": float(seed), "y": 2.0}, seeds=[1, 2, 3])
+        assert rep.mean("x") == 2.0
+        assert rep.min("x") == 1.0 and rep.max("x") == 3.0
+        assert rep.std("y") == 0.0
+
+    def test_single_seed_std_zero(self):
+        rep = replicate(lambda seed: {"x": 5.0}, seeds=[7])
+        assert rep.std("x") == 0.0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda seed: {"x": 1.0}, seeds=[])
+
+    def test_inconsistent_metrics_rejected(self):
+        def run(seed):
+            return {"a": 1.0} if seed == 1 else {"b": 1.0}
+
+        with pytest.raises(ValueError):
+            replicate(run, seeds=[1, 2])
+
+    def test_always_predicate(self):
+        rep = replicate(lambda seed: {"x": float(seed)}, seeds=[1, 2, 3])
+        assert rep.always(lambda row: row["x"] >= 1.0)
+        assert not rep.always(lambda row: row["x"] >= 2.0)
+
+    def test_table_renders(self):
+        rep = replicate(lambda seed: {"metric": float(seed)}, seeds=[1, 2])
+        text = rep.table("demo").render()
+        assert "demo (n=2 seeds)" in text and "metric" in text
+
+
+class TestHeadlineShapeAcrossSeeds:
+    def test_scoped_beats_naive_for_every_seed(self):
+        """The §2.3-vs-§4 shape is not a seed artifact."""
+        from repro.harness.experiments import run_naive_vs_scoped
+
+        def run(seed):
+            result = run_naive_vs_scoped(seed=seed, n_jobs=12, n_machines=4)
+            return {
+                "naive_incidental": float(result.naive.user_visible_incidental),
+                "scoped_incidental": float(result.scoped.user_visible_incidental),
+                "naive_p1": float(result.naive_violations[1]),
+                "scoped_p1": float(result.scoped_violations[1]),
+            }
+
+        rep = replicate(run, seeds=[0, 1, 2])
+        assert rep.always(
+            lambda row: row["scoped_incidental"] < row["naive_incidental"]
+        )
+        assert rep.always(lambda row: row["scoped_p1"] == 0.0)
+        assert rep.mean("naive_p1") > 0.0

@@ -1,0 +1,296 @@
+"""Tests for the simulated JVM: Figure-4 exit codes, wrapper recovery."""
+
+import pytest
+
+from repro.chirp.client import LocalIoLibrary
+from repro.condor.job import ProgramImage
+from repro.core.result import ResultStatus
+from repro.core.scope import ErrorScope
+from repro.jvm.machine import Jvm, JvmExecError
+from repro.jvm.program import JavaProgram, Step
+from repro.jvm.throwables import (
+    JError,
+    JFileNotFoundException,
+    JOutOfMemoryError,
+    JRuntimeException,
+    Throwable,
+    throwable_by_name,
+)
+from repro.sim.engine import Simulator
+from repro.sim.machine import JavaInstallation, Machine
+
+MB = 2**20
+
+
+def make_rig(memory=256 * MB, java=None):
+    sim = Simulator()
+    machine = Machine(sim, "exec1", memory=memory, java=java)
+    machine.scratch.mkdir("/scratch/job", parents=True)
+    return sim, machine
+
+
+def run_bare(sim, machine, program, image=None, heap=32 * MB, java=None):
+    jvm = Jvm(sim, machine, installation=java)
+    io = LocalIoLibrary(machine.scratch, "/scratch/job")
+    image = image or ProgramImage("Main.class", program=program)
+    proc = machine.processes.spawn("java", jvm.run_bare(image, program, io, heap))
+    sim.run()
+    return proc.status
+
+
+def run_wrapped(sim, machine, program, image=None, heap=32 * MB, java=None):
+    from repro.core.classify import DEFAULT_CLASSIFIER
+    from repro.core.result import ResultFile
+
+    jvm = Jvm(sim, machine, installation=java)
+    io = LocalIoLibrary(machine.scratch, "/scratch/job")
+    image = image or ProgramImage("Main.class", program=program)
+    sink: list[bytes] = []
+    proc = machine.processes.spawn(
+        "java-wrapper",
+        jvm.run_wrapped(image, program, io, heap, DEFAULT_CLASSIFIER, sink.append),
+    )
+    sim.run()
+    result = ResultFile.parse(sink[0]) if sink else None
+    return proc.status, result
+
+
+class TestThrowables:
+    def test_hierarchy(self):
+        assert issubclass(JOutOfMemoryError, JError)
+        assert issubclass(JFileNotFoundException, Throwable)
+        assert not issubclass(JFileNotFoundException, JError)
+
+    def test_throwable_by_name_known(self):
+        exc = throwable_by_name("OutOfMemoryError")
+        assert isinstance(exc, JOutOfMemoryError)
+
+    def test_throwable_by_name_custom(self):
+        exc = throwable_by_name("MySimulationException", "user stuff")
+        assert exc.java_name == "MySimulationException"
+        assert isinstance(exc, Throwable)
+        assert not isinstance(exc, JError)
+
+    def test_scope_hints(self):
+        assert JOutOfMemoryError.scope_hint is ErrorScope.VIRTUAL_MACHINE
+
+
+class TestBareJvmFigure4:
+    """The seven rows of Figure 4 against the bare JVM."""
+
+    def test_complete_main_is_zero(self):
+        sim, machine = make_rig()
+        status = run_bare(sim, machine, JavaProgram(steps=[Step.compute(1.0)]))
+        assert status.code == 0
+
+    def test_system_exit_x_is_x(self):
+        sim, machine = make_rig()
+        status = run_bare(sim, machine, JavaProgram(steps=[Step.exit(42)]))
+        assert status.code == 42
+
+    def test_null_pointer_is_one(self):
+        sim, machine = make_rig()
+        status = run_bare(
+            sim, machine, JavaProgram(steps=[Step.throw("NullPointerException")])
+        )
+        assert status.code == 1
+
+    def test_out_of_memory_is_one(self):
+        sim, machine = make_rig()
+        status = run_bare(
+            sim,
+            machine,
+            JavaProgram(steps=[Step.allocate(64 * MB)]),
+            heap=32 * MB,
+        )
+        assert status.code == 1
+
+    def test_misconfigured_installation_is_one(self):
+        sim, machine = make_rig(java=JavaInstallation(classpath_ok=False))
+        status = run_bare(
+            sim,
+            machine,
+            JavaProgram(steps=[Step.compute(1.0)]),
+            java=JavaInstallation(classpath_ok=False),
+        )
+        assert status.code == 1
+
+    def test_corrupt_image_is_one(self):
+        sim, machine = make_rig()
+        program = JavaProgram(steps=[Step.compute(1.0)])
+        image = ProgramImage("Main.class", program=program, corrupt=True)
+        status = run_bare(sim, machine, program, image=image)
+        assert status.code == 1
+
+    def test_figure_4_ambiguity(self):
+        """The point of Figure 4: all failures produce the same code 1."""
+        codes = set()
+        for scenario in ("npe", "oom", "badjava", "corrupt"):
+            if scenario == "npe":
+                sim, machine = make_rig()
+                status = run_bare(
+                    sim, machine, JavaProgram(steps=[Step.throw("NullPointerException")])
+                )
+            elif scenario == "oom":
+                sim, machine = make_rig()
+                status = run_bare(
+                    sim, machine, JavaProgram(steps=[Step.allocate(999 * MB)])
+                )
+            elif scenario == "badjava":
+                bad = JavaInstallation(classpath_ok=False)
+                sim, machine = make_rig(java=bad)
+                status = run_bare(sim, machine, JavaProgram(), java=bad)
+            else:
+                sim, machine = make_rig()
+                program = JavaProgram(steps=[Step.compute(0.1)])
+                status = run_bare(
+                    sim,
+                    machine,
+                    program,
+                    image=ProgramImage("X", program=program, corrupt=True),
+                )
+            codes.add(status.code)
+        assert codes == {1}  # indistinguishable, as the paper complains
+
+
+class TestWrappedJvm:
+    """The wrapper recovers the scope that the exit code destroys (§4)."""
+
+    def test_completion(self):
+        sim, machine = make_rig()
+        status, result = run_wrapped(sim, machine, JavaProgram(steps=[Step.compute(1.0)]))
+        assert status.code == 0
+        assert result.status is ResultStatus.COMPLETED
+        assert result.exit_code == 0
+
+    def test_system_exit_recorded(self):
+        sim, machine = make_rig()
+        _, result = run_wrapped(sim, machine, JavaProgram(steps=[Step.exit(7)]))
+        assert result.status is ResultStatus.COMPLETED
+        assert result.exit_code == 7
+
+    def test_program_exception_is_program_result(self):
+        sim, machine = make_rig()
+        _, result = run_wrapped(
+            sim,
+            machine,
+            JavaProgram(steps=[Step.throw("ArrayIndexOutOfBoundsException")]),
+        )
+        assert result.status is ResultStatus.EXCEPTION
+        assert result.exception_name == "ArrayIndexOutOfBoundsException"
+        assert result.is_program_result
+
+    def test_oom_is_virtual_machine_scope(self):
+        sim, machine = make_rig()
+        _, result = run_wrapped(
+            sim, machine, JavaProgram(steps=[Step.allocate(64 * MB)]), heap=32 * MB
+        )
+        assert result.status is ResultStatus.ENVIRONMENT
+        assert result.scope is ErrorScope.VIRTUAL_MACHINE
+        assert result.error_name == "OutOfMemoryError"
+
+    def test_machine_memory_pressure_is_vm_scope(self):
+        """Heap within the JVM limit, but the machine itself is short of
+        memory (another tenant has it): still virtual-machine scope."""
+        sim, machine = make_rig(memory=32 * MB)
+        machine.alloc(20 * MB)  # a competing tenant
+        _, result = run_wrapped(
+            sim,
+            machine,
+            JavaProgram(steps=[Step.allocate(24 * MB)]),
+            heap=32 * MB,
+        )
+        assert result.status is ResultStatus.ENVIRONMENT
+        assert result.scope is ErrorScope.VIRTUAL_MACHINE
+
+    def test_corrupt_image_is_job_scope(self):
+        sim, machine = make_rig()
+        program = JavaProgram(steps=[Step.compute(1.0)])
+        _, result = run_wrapped(
+            sim,
+            machine,
+            program,
+            image=ProgramImage("Main.class", program=program, corrupt=True),
+        )
+        assert result.status is ResultStatus.ENVIRONMENT
+        assert result.scope is ErrorScope.JOB
+        assert result.error_name == "ClassFormatError"
+
+    def test_misconfigured_jvm_leaves_no_result_file(self):
+        """If the JVM cannot boot, the wrapper never runs: exit 1 and no
+        result file -- the starter's cue for a remote-resource error."""
+        bad = JavaInstallation(classpath_ok=False)
+        sim, machine = make_rig(java=bad)
+        status, result = run_wrapped(sim, machine, JavaProgram(), java=bad)
+        assert status.code == 1
+        assert result is None
+
+    def test_handled_exception_continues(self):
+        sim, machine = make_rig()
+        machine.scratch.write_file("/scratch/job/later", b"x")
+        program = JavaProgram(
+            steps=[Step.read("missing"), Step.read("later"), Step.exit(0)],
+            handles={"FileNotFoundException"},
+        )
+        _, result = run_wrapped(sim, machine, program)
+        assert result.status is ResultStatus.COMPLETED
+
+    def test_unhandled_io_exception_is_program_result(self):
+        sim, machine = make_rig()
+        program = JavaProgram(steps=[Step.read("missing")])
+        _, result = run_wrapped(sim, machine, program)
+        assert result.status is ResultStatus.EXCEPTION
+        assert result.exception_name == "FileNotFoundException"
+
+
+class TestJvmMechanics:
+    def test_exec_error_for_missing_binary(self):
+        sim, machine = make_rig()
+        jvm = Jvm(sim, machine, installation=JavaInstallation(binary_ok=False))
+        with pytest.raises(JvmExecError):
+            jvm.check_exec()
+
+    def test_heap_accounting(self):
+        sim, machine = make_rig()
+        jvm = Jvm(sim, machine)
+        jvm.heap_limit = 100
+        jvm.heap_alloc(60)
+        jvm.heap_free(30)
+        jvm.heap_alloc(60)
+        with pytest.raises(JOutOfMemoryError):
+            jvm.heap_alloc(20)
+
+    def test_memory_released_after_run(self):
+        sim, machine = make_rig()
+        run_bare(sim, machine, JavaProgram(steps=[Step.compute(1.0)]))
+        assert machine.memory_used == 0
+
+    def test_memory_released_after_crash(self):
+        sim, machine = make_rig()
+        run_bare(sim, machine, JavaProgram(steps=[Step.throw("NullPointerException")]))
+        assert machine.memory_used == 0
+
+    def test_compute_respects_cpu_speed(self):
+        sim = Simulator()
+        machine = Machine(sim, "slow", cpu_speed=0.5)
+        machine.scratch.mkdir("/scratch/job", parents=True)
+        status = run_bare(sim, machine, JavaProgram(steps=[Step.compute(10.0)]))
+        assert status.code == 0
+        assert sim.now >= 20.0
+
+    def test_program_free_step(self):
+        sim, machine = make_rig()
+        program = JavaProgram(
+            steps=[Step.allocate(20 * MB), Step.free(20 * MB), Step.allocate(25 * MB)]
+        )
+        status = run_bare(sim, machine, program, heap=32 * MB)
+        assert status.code == 0
+
+    def test_error_never_caught_by_program(self):
+        sim, machine = make_rig()
+        program = JavaProgram(
+            steps=[Step.throw("OutOfMemoryError")],
+            handles={"OutOfMemoryError"},  # programs cannot catch Errors
+        )
+        status = run_bare(sim, machine, program)
+        assert status.code == 1

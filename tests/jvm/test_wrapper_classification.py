@@ -1,0 +1,75 @@
+"""Parametrized coverage of the wrapper's classification table."""
+
+import pytest
+
+from repro.core.scope import ErrorScope
+from repro.jvm.throwables import throwable_by_name
+from repro.jvm.wrapper import classify_throwable
+
+PROGRAM_THROWABLES = [
+    "NullPointerException",
+    "ArrayIndexOutOfBoundsException",
+    "ArithmeticException",
+    "ClassCastException",
+    "IllegalArgumentException",
+    "FileNotFoundException",
+    "AccessDeniedException",
+    "EOFException",
+    "DiskFullException",
+]
+
+VM_THROWABLES = ["OutOfMemoryError", "StackOverflowError", "VirtualMachineError",
+                 "InternalError"]
+
+REMOTE_THROWABLES = ["NoClassDefFoundError", "UnsatisfiedLinkError"]
+
+LOCAL_THROWABLES = ["ConnectionTimedOutException", "RemoteIoUnavailableError",
+                    "CredentialExpiredError", "ChirpConnectionLostError"]
+
+JOB_THROWABLES = ["ClassFormatError", "NoSuchMethodError"]
+
+
+@pytest.mark.parametrize("name", PROGRAM_THROWABLES)
+def test_program_scope_throwables(name):
+    scope, canonical = classify_throwable(throwable_by_name(name))
+    assert scope is ErrorScope.PROGRAM
+    assert canonical == name
+
+
+@pytest.mark.parametrize("name", VM_THROWABLES)
+def test_vm_scope_throwables(name):
+    scope, _ = classify_throwable(throwable_by_name(name))
+    assert scope is ErrorScope.VIRTUAL_MACHINE
+
+
+@pytest.mark.parametrize("name", REMOTE_THROWABLES)
+def test_remote_scope_throwables(name):
+    scope, _ = classify_throwable(throwable_by_name(name))
+    assert scope is ErrorScope.REMOTE_RESOURCE
+
+
+@pytest.mark.parametrize("name", LOCAL_THROWABLES)
+def test_local_scope_throwables(name):
+    scope, _ = classify_throwable(throwable_by_name(name))
+    assert scope is ErrorScope.LOCAL_RESOURCE
+
+
+@pytest.mark.parametrize("name", JOB_THROWABLES)
+def test_job_scope_throwables(name):
+    scope, _ = classify_throwable(throwable_by_name(name))
+    assert scope is ErrorScope.JOB
+
+
+def test_scope_hint_beats_table():
+    """An escaping JError's planted scope_hint wins over the name table --
+    'cooperating by knowing the scope, rather than the detail' (§7)."""
+    exc = throwable_by_name("ChirpConnectionLostError")
+    assert exc.scope_hint is ErrorScope.LOCAL_RESOURCE
+    scope, name = classify_throwable(exc)
+    assert scope is ErrorScope.LOCAL_RESOURCE
+    assert name == "ChirpConnectionLostError"
+
+
+def test_user_defined_exception_defaults_to_program():
+    scope, _ = classify_throwable(throwable_by_name("MyDomainException"))
+    assert scope is ErrorScope.PROGRAM

@@ -1,0 +1,416 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Interrupted,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+        seen.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_zero_delay_timeout_fires():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        yield sim.timeout(0.0)
+        seen.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert seen == [0.0]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        value = yield sim.timeout(1.0, value="ding")
+        got.append(value)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == ["ding"]
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def waiter(sim, delay, tag):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    sim.spawn(waiter(sim, 3.0, "c"))
+    sim.spawn(waiter(sim, 1.0, "a"))
+    sim.spawn(waiter(sim, 2.0, "b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo():
+    """Events at the same instant run in schedule order (determinism)."""
+    sim = Simulator()
+    order = []
+    for i in range(20):
+        sim.call_at(1.0, lambda i=i: order.append(i))
+    sim.run()
+    assert order == list(range(20))
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(100.0)
+
+    sim.spawn(proc(sim))
+    t = sim.run(until=10.0)
+    assert t == 10.0
+    assert sim.now == 10.0
+    # Remaining event still queued.
+    assert sim.peek() == 100.0
+
+
+def test_run_until_past_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+        sim.call_at(1.0, lambda: None)
+
+    sim.spawn(proc(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+    results = []
+
+    def child(sim):
+        yield sim.timeout(2.0)
+        return 42
+
+    def parent(sim):
+        value = yield sim.spawn(child(sim))
+        results.append((sim.now, value))
+
+    sim.spawn(parent(sim))
+    sim.run()
+    assert results == [(2.0, 42)]
+
+
+def test_waiting_on_finished_process_returns_immediately():
+    sim = Simulator()
+    results = []
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        return "done"
+
+    def parent(sim, proc):
+        yield sim.timeout(5.0)
+        value = yield proc
+        results.append((sim.now, value))
+
+    proc = sim.spawn(child(sim))
+    sim.spawn(parent(sim, proc))
+    sim.run()
+    assert results == [(5.0, "done")]
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+    caught = []
+
+    class Boom(Exception):
+        pass
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise Boom("bang")
+
+    def parent(sim):
+        try:
+            yield sim.spawn(child(sim))
+        except Boom as exc:
+            caught.append(str(exc))
+
+    sim.spawn(parent(sim))
+    sim.run()
+    assert caught == ["bang"]
+
+
+def test_unhandled_process_exception_raises_from_run():
+    sim = Simulator()
+
+    class Boom(Exception):
+        pass
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise Boom()
+
+    sim.spawn(child(sim))
+    with pytest.raises(Boom):
+        sim.run()
+
+
+def test_defused_failure_does_not_raise():
+    sim = Simulator()
+
+    class Boom(Exception):
+        pass
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise Boom()
+
+    sim.spawn(child(sim)).defuse()
+    sim.run()
+
+
+def test_event_succeed_wakes_waiters():
+    sim = Simulator()
+    gate = sim.event()
+    woken = []
+
+    def waiter(sim, tag):
+        value = yield gate
+        woken.append((tag, sim.now, value))
+
+    def opener(sim):
+        yield sim.timeout(3.0)
+        gate.succeed("open")
+
+    sim.spawn(waiter(sim, "w1"))
+    sim.spawn(waiter(sim, "w2"))
+    sim.spawn(opener(sim))
+    sim.run()
+    assert woken == [("w1", 3.0, "open"), ("w2", 3.0, "open")]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_any_of_first_wins():
+    sim = Simulator()
+    results = []
+
+    def proc(sim):
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(10.0, value="slow")
+        outcome = yield sim.any_of([fast, slow])
+        results.append((sim.now, list(outcome.values())))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert results == [(1.0, ["fast"])]
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+    results = []
+
+    def proc(sim):
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(5.0, value="b")
+        outcome = yield sim.all_of([a, b])
+        results.append((sim.now, sorted(outcome.values())))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert results == [(5.0, ["a", "b"])]
+
+
+def test_empty_conditions_trigger_immediately():
+    sim = Simulator()
+    assert AnyOf(sim, []).triggered
+    assert AllOf(sim, []).triggered
+
+
+def test_interrupt_waiting_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+            log.append("overslept")
+        except Interrupted as intr:
+            log.append((sim.now, intr.cause))
+
+    def killer(sim, victim):
+        yield sim.timeout(2.0)
+        victim.interrupt("wake up")
+
+    victim = sim.spawn(sleeper(sim))
+    sim.spawn(killer(sim, victim))
+    sim.run()
+    assert log == [(2.0, "wake up")]
+
+
+def test_interrupt_finished_process_is_noop():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    proc = sim.spawn(quick(sim))
+    sim.run()
+    proc.interrupt("too late")  # must not raise
+    sim.run()
+
+
+def test_interrupted_escaping_terminates_process_with_cause():
+    sim = Simulator()
+
+    def stubborn(sim):
+        yield sim.timeout(50.0)
+
+    def killer(sim, victim):
+        yield sim.timeout(1.0)
+        victim.interrupt("killed")
+
+    victim = sim.spawn(stubborn(sim))
+    sim.spawn(killer(sim, victim))
+    sim.run()
+    assert victim.triggered and victim.ok
+    assert victim.value == "killed"
+
+
+def test_stale_wakeup_after_interrupt_is_ignored():
+    """A process interrupted out of a wait must not be resumed again by
+    the original event when it eventually fires."""
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(10.0)
+            log.append("timeout fired into process")
+        except Interrupted:
+            log.append("interrupted")
+            yield sim.timeout(100.0)
+            log.append("second sleep done")
+
+    def killer(sim, victim):
+        yield sim.timeout(1.0)
+        victim.interrupt()
+
+    victim = sim.spawn(sleeper(sim))
+    sim.spawn(killer(sim, victim))
+    sim.run()
+    assert log == ["interrupted", "second sleep done"]
+
+
+def test_spawn_requires_generator():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.spawn(lambda: None)  # type: ignore[arg-type]
+
+
+def test_yield_non_event_is_error():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    sim.spawn(bad(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_cross_simulator_event_rejected():
+    sim1 = Simulator()
+    sim2 = Simulator()
+
+    def bad(sim):
+        yield sim2.event()
+
+    sim1.spawn(bad(sim1))
+    with pytest.raises(SimulationError):
+        sim1.run()
+
+
+def test_nested_spawn_runs_in_order():
+    sim = Simulator()
+    order = []
+
+    def inner(sim, tag):
+        order.append(("start", tag, sim.now))
+        yield sim.timeout(1.0)
+        order.append(("end", tag, sim.now))
+
+    def outer(sim):
+        sim.spawn(inner(sim, "x"))
+        sim.spawn(inner(sim, "y"))
+        yield sim.timeout(0.5)
+        order.append(("outer", "", sim.now))
+
+    sim.spawn(outer(sim))
+    sim.run()
+    assert order == [
+        ("start", "x", 0.0),
+        ("start", "y", 0.0),
+        ("outer", "", 0.5),
+        ("end", "x", 1.0),
+        ("end", "y", 1.0),
+    ]
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(0.0)
+        sim.run()
+
+    sim.spawn(proc(sim))
+    with pytest.raises(SimulationError):
+        sim.run()

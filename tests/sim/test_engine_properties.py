@@ -1,0 +1,108 @@
+"""Property-based tests of the simulation kernel's core guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0, allow_nan=False), max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_determinism_same_schedule_same_order(delays):
+    """Two runs of the same schedule produce identical event orders."""
+
+    def run():
+        sim = Simulator()
+        order = []
+        for i, delay in enumerate(delays):
+            sim.call_at(delay, lambda i=i: order.append((sim.now, i)))
+        sim.run()
+        return order
+
+    assert run() == run()
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0, allow_nan=False), max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_clock_is_monotone(delays):
+    sim = Simulator()
+    times = []
+    for delay in delays:
+        sim.call_at(delay, lambda: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)
+    assert sim.now == (max(delays) if delays else 0.0)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                  st.integers(min_value=0, max_value=5)),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_processes_sleep_exactly_their_delays(plan):
+    """Each spawned process wakes at the cumulative sum of its sleeps."""
+    sim = Simulator()
+    results = {}
+
+    def sleeper(sim, pid, naps):
+        for nap in naps:
+            yield sim.timeout(nap)
+        results[pid] = sim.now
+
+    expected = {}
+    for pid, (nap, count) in enumerate(plan):
+        naps = [nap] * count
+        expected[pid] = sum(naps)
+        sim.spawn(sleeper(sim, pid, naps))
+    sim.run()
+    assert results == expected
+
+
+@given(st.integers(min_value=1, max_value=30))
+@settings(max_examples=30, deadline=None)
+def test_fifo_at_same_instant(n):
+    """Same-time events fire in schedule order, regardless of count."""
+    sim = Simulator()
+    order = []
+    for i in range(n):
+        sim.call_at(5.0, lambda i=i: order.append(i))
+    sim.run()
+    assert order == list(range(n))
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=50.0, allow_nan=False),
+                min_size=1, max_size=15))
+@settings(max_examples=40, deadline=None)
+def test_any_of_fires_at_minimum(delays):
+    sim = Simulator()
+    winner = []
+
+    def proc(sim):
+        events = [sim.timeout(d) for d in delays]
+        yield sim.any_of(events)
+        winner.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run(until=max(delays) + 1)
+    assert winner[0] == min(delays)
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=50.0, allow_nan=False),
+                min_size=1, max_size=15))
+@settings(max_examples=40, deadline=None)
+def test_all_of_fires_at_maximum(delays):
+    sim = Simulator()
+    done = []
+
+    def proc(sim):
+        events = [sim.timeout(d) for d in delays]
+        yield sim.all_of(events)
+        done.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert done[0] == max(delays)

@@ -1,0 +1,110 @@
+"""Public-API surface checks: imports, exports, and documentation."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.analysis",
+    "repro.analysis.journeys",
+    "repro.chirp",
+    "repro.chirp.auth",
+    "repro.chirp.client",
+    "repro.chirp.protocol",
+    "repro.chirp.proxy",
+    "repro.condor",
+    "repro.condor.classads",
+    "repro.condor.classads.ad",
+    "repro.condor.classads.expr",
+    "repro.condor.classads.lexer",
+    "repro.condor.classads.parser",
+    "repro.condor.daemons",
+    "repro.condor.daemons.config",
+    "repro.condor.daemons.matchmaker",
+    "repro.condor.daemons.schedd",
+    "repro.condor.daemons.shadow",
+    "repro.condor.daemons.startd",
+    "repro.condor.daemons.starter",
+    "repro.condor.job",
+    "repro.condor.pool",
+    "repro.condor.protocols",
+    "repro.condor.submit",
+    "repro.condor.tools",
+    "repro.condor.userlog",
+    "repro.core",
+    "repro.core.classify",
+    "repro.core.errors",
+    "repro.core.interfaces",
+    "repro.core.principles",
+    "repro.core.propagation",
+    "repro.core.result",
+    "repro.core.scope",
+    "repro.core.timescope",
+    "repro.e2e",
+    "repro.e2e.manager",
+    "repro.e2e.validator",
+    "repro.faults",
+    "repro.faults.faults",
+    "repro.faults.injector",
+    "repro.harness",
+    "repro.harness.experiments",
+    "repro.harness.metrics",
+    "repro.harness.replicate",
+    "repro.harness.report",
+    "repro.harness.workloads",
+    "repro.jvm",
+    "repro.jvm.machine",
+    "repro.jvm.program",
+    "repro.jvm.throwables",
+    "repro.jvm.wrapper",
+    "repro.pvm",
+    "repro.pvm.program",
+    "repro.remoteio",
+    "repro.remoteio.rpc",
+    "repro.remoteio.server",
+    "repro.sim",
+    "repro.sim.engine",
+    "repro.sim.filesystem",
+    "repro.sim.machine",
+    "repro.sim.network",
+    "repro.sim.process",
+    "repro.sim.rng",
+]
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_module_imports_and_is_documented(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+
+def test_no_unlisted_public_modules():
+    """Every importable repro module is in the list above (keeps the list
+    honest as the package grows)."""
+    found = {"repro"}
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "__main__" in info.name:
+            continue
+        found.add(info.name)
+    assert found == set(PUBLIC_MODULES)
+
+
+def test_top_level_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_all_exports_documented():
+    """Every class/function exported at the top level has a docstring."""
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj):
+            assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
