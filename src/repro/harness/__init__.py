@@ -7,19 +7,29 @@
   executions, goodput;
 - :mod:`repro.harness.report` -- ASCII tables for benches and
   EXPERIMENTS.md;
+- :mod:`repro.harness.replicate` -- seed replication (serial or
+  process-parallel with a deterministic seed-order merge);
+- :mod:`repro.harness.parallel` -- the process fan-out machinery and its
+  explicit worker-failure policy;
 - :mod:`repro.harness.experiments` -- one named runner per paper figure
   and claim (see DESIGN.md §4 for the index).
 """
 
 from repro.harness.metrics import RunMetrics, collect_metrics
+from repro.harness.parallel import ParallelRunner, WorkerFailure
+from repro.harness.replicate import Replication, replicate
 from repro.harness.report import Table
 from repro.harness.workloads import WorkloadSpec, expected_result_for, make_workload
 
 __all__ = [
+    "ParallelRunner",
+    "Replication",
     "RunMetrics",
     "Table",
+    "WorkerFailure",
     "WorkloadSpec",
     "collect_metrics",
     "expected_result_for",
     "make_workload",
+    "replicate",
 ]

@@ -6,14 +6,25 @@ Examples::
     python -m repro.harness fig4
     python -m repro.harness naive_vs_scoped --seed 3
     python -m repro.harness all
+    python -m repro.harness all --jobs 4          # fan out over processes
+    python -m repro.harness fig1 fig3 --jobs 2
+
+With ``--jobs N`` the named experiments run concurrently in worker
+processes; tables are still printed in stable (sorted) name order, so
+the output is byte-identical to a serial run apart from the wall-clock
+footers.  A crashed or hung worker surfaces as an explicit error naming
+the experiment (P1/P2), never as silently missing output.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
+import time
 
 from repro.harness import experiments as E
+from repro.harness.parallel import ParallelRunner, WorkerFailure
 
 #: name -> (callable accepting seed kwarg?, takes_seed)
 EXPERIMENTS: dict[str, tuple] = {
@@ -42,8 +53,32 @@ def run_experiment(name: str, seed: int = 0) -> str:
         raise SystemExit(
             f"unknown experiment {name!r}; try one of: {', '.join(sorted(EXPERIMENTS))}"
         ) from None
+    started = time.perf_counter()
     result = fn(seed=seed) if takes_seed else fn()
-    return result.table().render()
+    table = result.table()
+    table.add_footer(f"wall clock {time.perf_counter() - started:.3f}s")
+    return table.render()
+
+
+def run_experiments(names: list[str], seed: int = 0, jobs: int = 1) -> list[str]:
+    """Render *names* (serially or over *jobs* workers), in input order."""
+    for name in names:
+        if name not in EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {name!r}; "
+                f"try one of: {', '.join(sorted(EXPERIMENTS))}"
+            )
+    # Reference the canonical module so the partial pickles by a stable
+    # qualified name even when this file is executing as ``__main__``.
+    from repro.harness import __main__ as canonical
+
+    runner = ParallelRunner(
+        functools.partial(canonical.run_experiment, seed=seed), workers=jobs
+    )
+    try:
+        return [outcome.value for outcome in runner.map(names)]
+    except WorkerFailure as exc:
+        raise SystemExit(f"experiment worker failed: {exc}") from exc
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -51,9 +86,12 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.harness",
         description="Run the paper-reproduction experiments.",
     )
-    parser.add_argument("experiment", nargs="?",
-                        help="experiment name, or 'all'")
+    parser.add_argument("experiment", nargs="*",
+                        help="experiment name(s), or 'all'")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run experiments over N worker processes "
+                             "(output order stays stable)")
     parser.add_argument("--list", action="store_true", help="list experiments")
     args = parser.parse_args(argv)
     if args.list or not args.experiment:
@@ -61,9 +99,11 @@ def main(argv: list[str] | None = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(f"  {name}")
         return 0
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(run_experiment(name, seed=args.seed))
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    names = sorted(EXPERIMENTS) if args.experiment == ["all"] else args.experiment
+    for text in run_experiments(names, seed=args.seed, jobs=args.jobs):
+        print(text)
         print()
     return 0
 

@@ -8,6 +8,7 @@ records.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.condor import Job, JobState, Pool, PoolConfig, ProgramImage, Universe
@@ -447,6 +448,7 @@ def _fault_mix(pool: Pool, jobs: list[Job]) -> FaultInjector:
 
 
 def _run_mode(mode: str, seed: int, n_jobs: int, n_machines: int):
+    started = time.perf_counter()
     registry: list = []
     condor = CondorConfig(error_mode=mode, interface_registry=registry)
     pool = Pool(PoolConfig(n_machines=n_machines, seed=seed, condor=condor))
@@ -467,7 +469,9 @@ def _run_mode(mode: str, seed: int, n_jobs: int, n_machines: int):
         when += arrivals.expovariate(1.0 / 40.0)
     injector = _fault_mix(pool, jobs)
     pool.run_until_done(max_time=200_000, expected_jobs=len(jobs))
-    metrics = collect_metrics(pool, jobs, injector)
+    metrics = collect_metrics(
+        pool, jobs, injector, wall_clock=time.perf_counter() - started
+    )
     auditor = PrincipleAuditor()
     auditor.audit_outcomes(injector.audit_outcomes(jobs))
     auditor.audit_interfaces(registry)

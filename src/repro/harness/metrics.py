@@ -41,6 +41,11 @@ class RunMetrics:
     makespan: float = 0.0
     mean_turnaround: float = 0.0
     network_bytes: int = 0
+    #: real (host) seconds the run took, as opposed to simulated seconds.
+    #: Deliberately NOT part of :meth:`as_rows`: rendered tables must be
+    #: bit-reproducible across runs (DESIGN.md §6), so wall clock reaches
+    #: the user via table *footers* (CLI, replication) instead of rows.
+    wall_clock_seconds: float = 0.0
 
     def as_rows(self) -> list[list]:
         return [
@@ -61,7 +66,9 @@ class RunMetrics:
         ]
 
 
-def collect_metrics(pool, jobs: list[Job], injector=None) -> RunMetrics:
+def collect_metrics(
+    pool, jobs: list[Job], injector=None, wall_clock: float = 0.0
+) -> RunMetrics:
     """Compute :class:`RunMetrics` for *jobs* run on *pool*.
 
     When *injector* is given, its ground truth refines the incidental
@@ -71,7 +78,7 @@ def collect_metrics(pool, jobs: list[Job], injector=None) -> RunMetrics:
     """
     if injector is not None:
         injector.stamp_attempts(jobs)
-    metrics = RunMetrics(jobs=len(jobs))
+    metrics = RunMetrics(jobs=len(jobs), wall_clock_seconds=wall_clock)
     turnarounds = []
     for job in jobs:
         metrics.total_attempts += job.attempt_count

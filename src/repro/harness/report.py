@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 __all__ = ["Table", "fmt"]
@@ -12,6 +13,11 @@ def fmt(value: Any) -> str:
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):
+        if not math.isfinite(value):
+            # int(inf) raises OverflowError and int(nan) raises
+            # ValueError; a diverged metric must still render (P1/P2:
+            # show the explicit error, don't crash the table).
+            return str(value)  # 'inf', '-inf', or 'nan'
         if value == int(value) and abs(value) < 1e9:
             return str(int(value))
         return f"{value:.3f}"
@@ -25,6 +31,7 @@ class Table:
         self.title = title
         self.headers = list(headers)
         self.rows: list[list[str]] = []
+        self.footers: list[str] = []
         for row in rows or []:
             self.add_row(row)
 
@@ -34,6 +41,10 @@ class Table:
                 f"row has {len(row)} cells, table has {len(self.headers)} columns"
             )
         self.rows.append([fmt(cell) for cell in row])
+
+    def add_footer(self, text: str) -> None:
+        """Append a free-form footer line (timings, provenance notes)."""
+        self.footers.append(str(text))
 
     def render(self) -> str:
         widths = [len(h) for h in self.headers]
@@ -51,6 +62,9 @@ class Table:
         out.append(line(self.headers))
         out.append(rule)
         out.extend(line(row) for row in self.rows)
+        if self.footers:
+            out.append(rule)
+            out.extend(self.footers)
         return "\n".join(out)
 
     def __str__(self) -> str:

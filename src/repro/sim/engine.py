@@ -271,34 +271,43 @@ class SimProcess(Event):
             self._step(None, ev.value)
 
     def _step(self, value: Any, exc: BaseException | None) -> None:
-        try:
-            if exc is not None:
-                target = self.generator.throw(exc)
-            else:
-                target = self.generator.send(value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
+        # Loop so that a kernel-raised SimulationError (bad yield) goes
+        # back through the same send/throw handling as any other resume:
+        # the generator may catch it and yield a fresh event (continue
+        # waiting), return (StopIteration triggers the process), or let
+        # it escape (the process fails).  Without this, a StopIteration
+        # from the throw escaped into the event loop and a recovery
+        # yield was silently dropped, hanging the process forever.
+        while True:
+            try:
+                if exc is not None:
+                    target = self.generator.throw(exc)
+                else:
+                    target = self.generator.send(value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Interrupted as err:
+                # An interrupt that escapes the generator terminates it but is
+                # not a kernel error: the process "dies of" the interruption.
+                self.succeed(err.cause)
+                return
+            except BaseException as err:  # noqa: BLE001 - deliberate: process died
+                self.fail(err)
+                return
+            if not isinstance(target, Event):
+                value, exc = None, SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+                continue
+            if target.sim is not self.sim:
+                value, exc = None, SimulationError(
+                    "process yielded an event from another simulator"
+                )
+                continue
+            self._waiting_on = target
+            target.add_callback(self._resume)
             return
-        except Interrupted as err:
-            # An interrupt that escapes the generator terminates it but is
-            # not a kernel error: the process "dies of" the interruption.
-            self.succeed(err.cause)
-            return
-        except BaseException as err:  # noqa: BLE001 - deliberate: process died
-            self.fail(err)
-            return
-        if not isinstance(target, Event):
-            self.generator.throw(
-                SimulationError(f"process {self.name!r} yielded non-event {target!r}")
-            )
-            return
-        if target.sim is not self.sim:
-            self.generator.throw(
-                SimulationError("process yielded an event from another simulator")
-            )
-            return
-        self._waiting_on = target
-        target.add_callback(self._resume)
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupted` into the process at the current instant.

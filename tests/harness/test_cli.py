@@ -39,3 +39,30 @@ def test_main_no_args_lists(capsys):
 def test_main_runs_one(capsys):
     assert main(["time_scope"]) == 0
     assert "EXP-SCOPE-TIME" in capsys.readouterr().out
+
+
+def test_main_runs_several_in_input_order(capsys):
+    assert main(["time_scope", "fig4"]) == 0
+    out = capsys.readouterr().out
+    assert out.index("EXP-SCOPE-TIME") < out.index("FIG4")
+
+
+def test_tables_carry_wall_clock_footer():
+    assert "wall clock" in run_experiment("time_scope")
+
+
+def test_main_jobs_parallel_stable_order(capsys):
+    """--jobs fans out over processes; output order stays stable."""
+    assert main(["fig4", "time_scope", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.index("FIG4") < out.index("EXP-SCOPE-TIME")
+
+
+def test_main_jobs_must_be_positive():
+    with pytest.raises(SystemExit):
+        main(["fig4", "--jobs", "0"])
+
+
+def test_unknown_experiment_among_several_exits():
+    with pytest.raises(SystemExit):
+        main(["fig4", "nonsense"])

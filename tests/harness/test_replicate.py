@@ -27,6 +27,32 @@ class TestReplicateMechanics:
         with pytest.raises(ValueError):
             replicate(run, seeds=[1, 2])
 
+    def test_metric_insertion_order_is_not_significant(self):
+        """Parallel workers cannot guarantee dict insertion order; rows
+        reporting the same metric *set* in any order must aggregate, with
+        the first row's order as the canonical one."""
+
+        def run(seed):
+            if seed % 2:
+                return {"b": 2.0, "a": float(seed)}
+            return {"a": float(seed), "b": 2.0}
+
+        rep = replicate(run, seeds=[0, 1, 2, 3])
+        assert list(rep.samples) == ["a", "b"]
+        assert rep.max("a") == 3.0
+        assert rep.mean("b") == 2.0
+        assert list(rep.samples["a"]) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_extra_metric_still_rejected(self):
+        def run(seed):
+            row = {"a": 1.0}
+            if seed == 2:
+                row["extra"] = 9.0
+            return row
+
+        with pytest.raises(ValueError):
+            replicate(run, seeds=[1, 2])
+
     def test_always_predicate(self):
         rep = replicate(lambda seed: {"x": float(seed)}, seeds=[1, 2, 3])
         assert rep.always(lambda row: row["x"] >= 1.0)

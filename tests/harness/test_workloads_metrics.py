@@ -110,6 +110,25 @@ class TestReport:
         assert fmt("text") == "text"
         assert fmt(12) == "12"
 
+    def test_fmt_non_finite_floats(self):
+        """A diverged metric must render, not crash the table."""
+        assert fmt(float("inf")) == "inf"
+        assert fmt(float("-inf")) == "-inf"
+        assert fmt(float("nan")) == "nan"
+
+    def test_table_renders_non_finite_cells(self):
+        table = Table(["metric", "value"], [["diverged", float("inf")],
+                                            ["undefined", float("nan")]])
+        text = table.render()
+        assert "inf" in text and "nan" in text
+
+    def test_table_footer_renders_after_rule(self):
+        table = Table(["a"], [[1]], title="T")
+        table.add_footer("wall clock 0.5s")
+        lines = table.render().splitlines()
+        assert lines[-1] == "wall clock 0.5s"
+        assert set(lines[-2]) == {"-"}
+
     def test_table_renders_aligned(self):
         table = Table(["name", "value"], [["a", 1], ["longer", 22]], title="T")
         text = table.render()
@@ -154,3 +173,14 @@ class TestMetrics:
         rows = RunMetrics().as_rows()
         assert len(rows) == 14
         assert all(len(r) == 2 for r in rows)
+        # Wall clock is deliberately absent: rendered tables must stay
+        # bit-reproducible across runs; timing travels in footers.
+        assert not any(r[0] == "wall clock (s)" for r in rows)
+
+    def test_wall_clock_flows_through_collect(self):
+        from repro.condor import Pool, PoolConfig
+        from repro.harness.metrics import collect_metrics
+
+        pool = Pool(PoolConfig(n_machines=1))
+        metrics = collect_metrics(pool, [], wall_clock=1.25)
+        assert metrics.wall_clock_seconds == 1.25

@@ -366,6 +366,62 @@ def test_yield_non_event_is_error():
         sim.run()
 
 
+def test_yield_non_event_recovery_continues_waiting():
+    """A generator that catches the kernel's SimulationError and yields a
+    fresh event must keep running on that event (the recovery yield used
+    to be silently dropped, hanging the process forever)."""
+    sim = Simulator()
+    log = []
+
+    def resilient(sim):
+        try:
+            yield "not an event"
+        except SimulationError:
+            log.append("caught")
+            yield sim.timeout(3.0)
+            log.append(sim.now)
+        return "recovered"
+
+    proc = sim.spawn(resilient(sim))
+    sim.run()
+    assert log == ["caught", 3.0]
+    assert proc.triggered and proc.ok and proc.value == "recovered"
+
+
+def test_yield_non_event_then_return_terminates_process():
+    """A generator that catches the kernel's SimulationError and returns
+    must terminate its process normally (the StopIteration used to escape
+    into the event loop uncaught)."""
+    sim = Simulator()
+
+    def quitter(sim):
+        try:
+            yield object()
+        except SimulationError:
+            return "bailed"
+
+    proc = sim.spawn(quitter(sim))
+    sim.run()
+    assert proc.triggered and proc.ok and proc.value == "bailed"
+
+
+def test_cross_simulator_yield_recovery():
+    """The same send/throw routing applies to the cross-simulator check."""
+    sim, other = Simulator(), Simulator()
+    log = []
+
+    def resilient(sim):
+        try:
+            yield other.event()
+        except SimulationError:
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+
+    sim.spawn(resilient(sim))
+    sim.run()
+    assert log == [1.0]
+
+
 def test_cross_simulator_event_rejected():
     sim1 = Simulator()
     sim2 = Simulator()

@@ -53,6 +53,7 @@ PUBLIC_MODULES = [
     "repro.harness",
     "repro.harness.experiments",
     "repro.harness.metrics",
+    "repro.harness.parallel",
     "repro.harness.replicate",
     "repro.harness.report",
     "repro.harness.workloads",
