@@ -101,6 +101,18 @@ class ChirpProxy:
     def _handle(self, request: ChirpRequest):
         """Generator: authenticate, forward, translate."""
         self.requests_handled += 1
+        reply = yield from self._forward(request)
+        bus = self.sim.telemetry
+        if bus is not None and bus.active:
+            bus.emit(
+                self.sim.now, "io", "chirp_op",
+                channel="chirp", op=request.op, path=request.path,
+                code=reply.code.name, bytes=len(reply.data),
+            )
+        return reply
+
+    def _forward(self, request: ChirpRequest):
+        """Generator: the authenticate/forward/translate body."""
         if request.secret != self.secret:
             return ChirpReply(ChirpCode.AUTH_FAILED)
         if request.op not in ("read", "write", "stat"):

@@ -103,6 +103,13 @@ class Matchmaker:
         """Generator: one negotiation cycle over all current ads."""
         self.cycles_run += 1
         self._expire()
+        bus = self.sim.telemetry
+        if bus is not None and bus.active:
+            bus.emit(
+                self.sim.now, "daemon", "negotiation_cycle",
+                cycle=self.cycles_run,
+                jobs=len(self.job_ads), machines=len(self.machine_ads),
+            )
         for owner in list(self.owner_usage):
             self.owner_usage[owner] *= self.config.usage_decay
         # Fair share: least-used owner negotiates first; within an owner,
@@ -134,6 +141,11 @@ class Matchmaker:
             delivered = yield from self._notify_schedd(job_stored, notify)
             if delivered:
                 self.matches_made += 1
+                if bus is not None and bus.active:
+                    bus.emit(
+                        self.sim.now, "daemon", "match_made",
+                        job=notify.job_id, machine=machine_name,
+                    )
                 owner = self._owner_of(job_stored)
                 self.owner_usage[owner] = self.owner_usage.get(owner, 0.0) + 1.0
                 # One claim per machine per cycle; the startd re-advertises

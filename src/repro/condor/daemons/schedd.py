@@ -18,6 +18,8 @@ hosts with chronic failures."
 
 from __future__ import annotations
 
+import itertools
+
 from repro.condor.classads import ClassAd
 from repro.condor.daemons.config import CondorConfig
 from repro.condor.daemons.shadow import Shadow, ShadowOutcome
@@ -68,6 +70,9 @@ class Schedd:
         )
         self.jobs: dict[str, Job] = {}
         self.userlog = UserLog()
+        # Shadow I/O server ports: per-schedd sequence, unique on this
+        # submit host and deterministic per run (no module-global state).
+        self._io_port_seq = itertools.count(20001)
         self.site_failures: dict[str, int] = {}
         self.avoided_sites: set[str] = set()
         self.shadows_spawned = 0
@@ -88,6 +93,12 @@ class Schedd:
         job.set_state(JobState.IDLE)
         self.jobs[job.job_id] = job
         self.userlog.log(self.sim.now, job.job_id, UserLogEventType.SUBMIT)
+        bus = self.sim.telemetry
+        if bus is not None and bus.active:
+            bus.emit(
+                self.sim.now, "job", "submit",
+                job=job.job_id, owner=job.owner, universe=job.universe.value,
+            )
         prompt = self.sim.spawn(self._advertise_jobs(), name="schedd-advert-on-submit")
         prompt.defuse()
 
@@ -151,6 +162,12 @@ class Schedd:
             if message.startd_name in self.avoided_sites:
                 return  # leave the job idle; it will be re-advertised
             job.set_state(JobState.MATCHED)
+            bus = self.sim.telemetry
+            if bus is not None and bus.active:
+                bus.emit(
+                    self.sim.now, "job", "match",
+                    job=job.job_id, site=message.startd_name,
+                )
             runner = self.sim.spawn(
                 self._claim_and_run(job, message), name=f"run:{job.job_id}"
             )
@@ -158,7 +175,13 @@ class Schedd:
 
     def _claim_and_run(self, job: Job, match: MatchNotify):
         granted = yield from self._request_claim(job, match)
+        bus = self.sim.telemetry
         if granted is None:
+            if bus is not None and bus.active:
+                bus.emit(
+                    self.sim.now, "job", "claim_failed",
+                    job=job.job_id, site=match.startd_name,
+                )
             job.set_state(JobState.IDLE)
             return
         shadow = Shadow(
@@ -171,14 +194,25 @@ class Schedd:
             starter_port=granted.starter_port,
             config=self.config,
             credential=self.credential_factory(job),
+            io_port=next(self._io_port_seq),
         )
         self.shadows_spawned += 1
+        if bus is not None and bus.active:
+            bus.emit(
+                self.sim.now, "daemon", "shadow_spawn",
+                job=job.job_id, site=match.startd_name,
+            )
         job.set_state(JobState.RUNNING)
         self.userlog.log(
             self.sim.now, job.job_id, UserLogEventType.EXECUTE, match.startd_name
         )
         attempt = ExecutionAttempt(site=match.startd_name, started=self.sim.now)
         job.attempts.append(attempt)
+        if bus is not None and bus.active:
+            bus.emit(
+                self.sim.now, "job", "execute",
+                job=job.job_id, site=match.startd_name, attempt=len(job.attempts),
+            )
         shadow_proc = self.sim.spawn(shadow.run(), name=f"shadow:{job.job_id}")
         shadow_proc.defuse()
         yield shadow_proc
@@ -237,6 +271,13 @@ class Schedd:
             UserLogEventType.SITE_FAILED,
             f"{attempt.site}: {outcome.error_name} ({outcome.scope})",
         )
+        bus = self.sim.telemetry
+        if bus is not None and bus.active:
+            bus.emit(
+                self.sim.now, "job", "site_failed",
+                job=job.job_id, site=attempt.site,
+                error=outcome.error_name, scope=outcome.scope.name,
+            )
         env_failures = sum(
             1
             for a in job.attempts
@@ -250,14 +291,32 @@ class Schedd:
     def _complete(self, job: Job, outcome: ShadowOutcome) -> None:
         job.final_result = outcome.result
         job.set_state(JobState.COMPLETED)
+        # Structured classification: a termination is an error delivery
+        # exactly when the delivered file is not a program result.
+        is_error = outcome.result is not None and not outcome.result.is_program_result
         self.userlog.log(
-            self.sim.now, job.job_id, UserLogEventType.TERMINATED, str(outcome.result)
+            self.sim.now,
+            job.job_id,
+            UserLogEventType.TERMINATED,
+            str(outcome.result),
+            error=is_error,
         )
+        bus = self.sim.telemetry
+        if bus is not None and bus.active:
+            bus.emit(
+                self.sim.now, "job", "result",
+                job=job.job_id, result=str(outcome.result),
+            )
 
     def _hold(self, job: Job, reason: str) -> None:
         job.hold_reason = reason
         job.set_state(JobState.HELD)
-        self.userlog.log(self.sim.now, job.job_id, UserLogEventType.HELD, reason)
+        self.userlog.log(
+            self.sim.now, job.job_id, UserLogEventType.HELD, reason, error=True
+        )
+        bus = self.sim.telemetry
+        if bus is not None and bus.active:
+            bus.emit(self.sim.now, "job", "hold", job=job.job_id, reason=reason)
 
     def _note_site_failure(self, site: str) -> None:
         self.site_failures[site] = self.site_failures.get(site, 0) + 1

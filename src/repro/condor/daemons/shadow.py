@@ -14,7 +14,6 @@ packaged in the starter's result and flow through untouched.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
 from repro.condor.daemons.config import CondorConfig
@@ -37,8 +36,6 @@ from repro.sim.filesystem import FsError
 from repro.sim.network import Network, NetworkError
 
 __all__ = ["Shadow", "ShadowOutcome"]
-
-_io_ports = itertools.count(20001)
 
 
 @dataclass
@@ -74,6 +71,7 @@ class Shadow:
         starter_port: int,
         config: CondorConfig,
         credential: Credential | None = None,
+        io_port: int = 20001,
     ):
         self.sim = sim
         self.net = net
@@ -84,7 +82,9 @@ class Shadow:
         self.starter_port = starter_port
         self.config = config
         self.credential = credential or Credential(owner=job.owner)
-        self.io_port = next(_io_ports)
+        # The schedd allocates I/O server ports from a per-schedd
+        # sequence: unique on the submit host, deterministic per run.
+        self.io_port = io_port
         self.outcome: ShadowOutcome | None = None
         self.io_server: RemoteIoServer | None = None
         self._resume_from = job.checkpoint if config.checkpointing else 0
@@ -100,6 +100,15 @@ class Shadow:
         finally:
             if self.io_server is not None:
                 self.io_server.close()
+            bus = self.sim.telemetry
+            if bus is not None and bus.active:
+                o = self.outcome
+                bus.emit(
+                    self.sim.now, "daemon", "shadow_exit",
+                    job=self.job.job_id, site=self.exec_host,
+                    kind=o.kind if o is not None else "died",
+                    error=o.error_name if o is not None else "",
+                )
         return self.outcome
 
     # -- the shadow protocol -------------------------------------------------

@@ -32,9 +32,6 @@ from repro.sim.network import Network, NetworkError
 
 __all__ = ["Startd"]
 
-_claim_counter = itertools.count(1)
-_starter_ports = itertools.count(30001)
-
 
 class Startd:
     """One startd per execution machine."""
@@ -69,6 +66,12 @@ class Startd:
         self.ads_sent = 0
         self.claims_granted = 0
         self.claims_rejected = 0
+        # Per-startd counters (not module globals): claim ids embed the
+        # machine name and starter ports bind to this machine's host, so
+        # instance-local sequences stay unique -- and, unlike globals,
+        # deterministic across repeated runs in one process (DESIGN §6).
+        self._claim_seq = itertools.count(1)
+        self._starter_port_seq = itertools.count(30001)
         if config.startd_self_test:
             self.java_advertised = self._self_test()
         self.listener = net.listen(machine.name, self.PORT)
@@ -142,7 +145,9 @@ class Startd:
     def free_slots(self) -> list[int]:
         return [i for i, by in self.slot_claimed.items() if by is None]
 
-    def _slot_name(self, slot: int) -> str:
+    def slot_name(self, slot: int) -> str:
+        """The advertised name of *slot*: the machine name for a
+        single-slot machine, ``slotN@machine`` for an SMP."""
         if self.machine.slots == 1:
             return self.machine.name
         return f"slot{slot + 1}@{self.machine.name}"
@@ -152,7 +157,7 @@ class Startd:
         """The ad for one slot (an SMP advertises one ad per slot)."""
         ad = ClassAd(
             {
-                "name": self._slot_name(slot),
+                "name": self.slot_name(slot),
                 "machine": self.machine.name,
                 "slotid": slot + 1,
                 "startdport": self.PORT,
@@ -192,7 +197,7 @@ class Startd:
                 conn.send(
                     Advertise(
                         kind="machine",
-                        name=self._slot_name(slot),
+                        name=self.slot_name(slot),
                         ad=self.build_ad(slot),
                     ),
                     size=WireSize.AD,
@@ -232,17 +237,29 @@ class Startd:
                 incumbent = self.slot_starters[slot]
                 if incumbent is not None:
                     incumbent.evict()
+        bus = self.sim.telemetry
         if slot is None:
             self.claims_rejected += 1
             reason = "policy refuses job" if free else "already claimed"
+            if bus is not None and bus.active:
+                bus.emit(
+                    self.sim.now, "daemon", "claim_rejected",
+                    machine=self.machine.name, job=request.job_id, reason=reason,
+                )
             conn.send(ClaimRejected(reason), size=WireSize.CONTROL)
             conn.close()
             return
-        claim_id = f"claim-{self.machine.name}-{next(_claim_counter)}"
-        starter_port = next(_starter_ports)
+        claim_id = f"claim-{self.machine.name}-{next(self._claim_seq)}"
+        starter_port = next(self._starter_port_seq)
         self.slot_claimed[slot] = request.schedd_name
         self.slot_rank[slot] = rank(self.build_ad(slot), request.job_ad)
         self.claims_granted += 1
+        if bus is not None and bus.active:
+            bus.emit(
+                self.sim.now, "daemon", "claim_granted",
+                machine=self.machine.name, slot=self.slot_name(slot),
+                job=request.job_id, schedd=request.schedd_name,
+            )
         starter = Starter(
             sim=self.sim,
             net=self.net,
@@ -296,6 +313,9 @@ class Startd:
     # be executed") -----------------------------------------------------
     def evict(self) -> None:
         """The owner wants the machine back: evict every visiting job."""
+        bus = self.sim.telemetry
+        if bus is not None and bus.active:
+            bus.emit(self.sim.now, "daemon", "evict", machine=self.machine.name)
         for starter in self.slot_starters.values():
             if starter is not None:
                 starter.evict()

@@ -129,6 +129,13 @@ class Starter:
     # -- the execution environment ------------------------------------------
     def _execute(self, conn, details: JobDetails):
         """Generator: set up, fetch, run, report."""
+        bus = self.sim.telemetry
+        if bus is not None and bus.active:
+            bus.emit(
+                self.sim.now, "daemon", "starter_exec",
+                machine=self.machine.name, job=details.job_id,
+                universe=details.universe,
+            )
         # 1. Scratch directory.
         try:
             self.machine.scratch.mkdir(self.scratch_dir, parents=True)
@@ -198,6 +205,13 @@ class Starter:
     def _starter_failure(self, namespace: str, name: str, detail: str) -> JobResult:
         """A condition the starter itself discovered, scoped via the table."""
         classification = DEFAULT_CLASSIFIER.classify(namespace, name)
+        bus = self.sim.telemetry
+        if bus is not None and bus.active:
+            bus.emit(
+                self.sim.now, "daemon", "starter_error",
+                machine=self.machine.name, error=name,
+                scope=classification.scope.name,
+            )
         return JobResult(
             claim_id=self.claim_id,
             starter_error=f"{name}: {detail}",

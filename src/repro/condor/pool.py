@@ -18,6 +18,7 @@ from repro.condor.daemons.startd import Startd
 from repro.condor.job import Job
 from repro.core.propagation import ManagementChain, ScopeManager
 from repro.core.scope import ErrorScope
+from repro.obs.bus import ambient_bus
 from repro.remoteio.server import SyncFsAdapter
 from repro.sim.engine import Simulator
 from repro.sim.filesystem import LocalFileSystem
@@ -77,6 +78,22 @@ class Pool:
             rng=self.rngs.stream("network.loss"),
         )
         self.chain = figure3_chain()
+        # Telemetry: attach the ambient bus (an ObservationSession's, if
+        # one is active; otherwise a fresh inert one).  The simulator and
+        # the management chain feed it by duck typing; the daemons reach
+        # it through ``self.sim.telemetry``.
+        self.bus = ambient_bus()
+        self.sim.telemetry = self.bus
+        self.chain.bus = self.bus
+        if self.bus.active:
+            self.bus.emit(
+                self.sim.now,
+                "daemon",
+                "pool_created",
+                machines=self.config.n_machines,
+                seed=self.config.seed,
+                submit=self.config.submit_host,
+            )
         # Submit side.
         self.net.register_host(self.config.submit_host)
         self.home_fs = LocalFileSystem("home", capacity=self.config.home_capacity, sim=self.sim)

@@ -35,7 +35,7 @@ def condor_status(pool) -> str:
             else:
                 state = "unclaimed"
             table.add_row([
-                startd._slot_name(slot),
+                startd.slot_name(slot),
                 state,
                 machine.memory_total // machine.slots // 2**20,
                 machine.cpu_speed,

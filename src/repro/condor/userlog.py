@@ -30,6 +30,10 @@ class UserLogEvent:
     job_id: str
     type: UserLogEventType
     detail: str = ""
+    #: Structured classification: True when this event delivers an error
+    #: the user must read (a hold, or a termination that is not a program
+    #: result).  Set by the logger; the rendered format does not change.
+    error: bool = False
 
     def __str__(self) -> str:
         detail = f" -- {self.detail}" if self.detail else ""
@@ -43,9 +47,14 @@ class UserLog:
         self.events: list[UserLogEvent] = []
 
     def log(
-        self, time: float, job_id: str, type: UserLogEventType, detail: str = ""
+        self,
+        time: float,
+        job_id: str,
+        type: UserLogEventType,
+        detail: str = "",
+        error: bool = False,
     ) -> None:
-        self.events.append(UserLogEvent(time, job_id, type, detail))
+        self.events.append(UserLogEvent(time, job_id, type, detail, error))
 
     def for_job(self, job_id: str) -> list[UserLogEvent]:
         return [e for e in self.events if e.job_id == job_id]
@@ -54,15 +63,12 @@ class UserLog:
         return sum(1 for e in self.events if e.type is type)
 
     def user_visible_errors(self) -> list[UserLogEvent]:
-        """Events a user must read and interpret: terminations that carry
-        error detail, and holds."""
-        out = []
-        for e in self.events:
-            if e.type is UserLogEventType.HELD:
-                out.append(e)
-            elif e.type is UserLogEventType.TERMINATED and e.detail.startswith("error"):
-                out.append(e)
-        return out
+        """Events a user must read and interpret: error deliveries.
+
+        Classified on the structured :attr:`UserLogEvent.error` flag, not
+        on the rendered detail string (which is free-form prose).
+        """
+        return [e for e in self.events if e.error]
 
     def render(self) -> str:
         return "\n".join(str(e) for e in self.events)

@@ -178,6 +178,28 @@ class ManagementChain:
             raise ValueError(f"duplicate manager names in {names}")
         self.managers = list(managers)
         self.trace = trace if trace is not None else PropagationTrace()
+        #: Optional telemetry sink (duck-typed: ``.active`` + ``.emit``);
+        #: a Pool attaches its bus here.  One ERROR-topic event per hop.
+        self.bus = None
+        #: error_id -> dense per-chain id.  GridError ids come from a
+        #: process-global counter; interning them keeps exported traces
+        #: identical across runs within one process (DESIGN.md §6).
+        self._obs_ids: dict[int, int] = {}
+
+    def _note(self, time: float, event: EventType, manager: str, error: GridError) -> None:
+        self.trace.record(time, event, manager, error)
+        bus = self.bus
+        if bus is not None and bus.active:
+            obs_id = self._obs_ids.setdefault(error.error_id, len(self._obs_ids) + 1)
+            bus.emit(
+                time,
+                "error",
+                event.value,
+                error_id=obs_id,
+                error=error.name,
+                scope=error.scope.name,
+                manager=manager,
+            )
 
     def __getitem__(self, name: str) -> ScopeManager:
         for m in self.managers:
@@ -212,23 +234,23 @@ class ManagementChain:
         An error whose scope nobody manages is UNMANAGED at the outer end
         (it reaches the user raw -- the failure mode of naive systems).
         """
-        self.trace.record(time, EventType.DISCOVERED, discovered_by, error)
+        self._note(time, EventType.DISCOVERED, discovered_by, error)
         start = self.index(discovered_by)
         hops = 0
         for manager in self.managers[start:]:
             if manager.manages(error.scope):
-                self.trace.record(time, EventType.DELIVERED, manager.name, error)
+                self._note(time, EventType.DELIVERED, manager.name, error)
                 action = manager.decide(error)
-                self.trace.record(
+                self._note(
                     time,
                     EventType.MASKED if action is Action.MASK else EventType.REPORTED,
                     manager.name,
                     error,
                 )
                 return PropagationOutcome(error, manager.name, action, hops)
-            self.trace.record(time, EventType.ESCALATED, manager.name, error)
+            self._note(time, EventType.ESCALATED, manager.name, error)
             hops += 1
-        self.trace.record(time, EventType.UNMANAGED, self.managers[-1].name, error)
+        self._note(time, EventType.UNMANAGED, self.managers[-1].name, error)
         return PropagationOutcome(error, None, None, hops)
 
     def misdeliver(self, error: GridError, consumed_by: str, time: float = 0.0) -> None:
@@ -237,7 +259,7 @@ class ManagementChain:
         Naive configurations call this; the auditor charges it as a
         Principle-3 violation.
         """
-        self.trace.record(time, EventType.MISHANDLED, consumed_by, error)
+        self._note(time, EventType.MISHANDLED, consumed_by, error)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ManagementChain {' -> '.join(m.name for m in self.managers)}>"

@@ -56,16 +56,30 @@ class FaultInjector:
         self.injections.append(injection)
         sim = self.pool.sim
 
+        def note(event: str) -> None:
+            bus = getattr(self.pool, "bus", None)
+            if bus is not None and bus.active:
+                bus.emit(
+                    sim.now, "fault", event,
+                    fault=type(fault).__name__, scope=fault.scope.name,
+                    site=fault.site or "", job=fault.job_id or "",
+                )
+
         def arm() -> None:
             fault.arm(self.pool)
             self.armed.append((sim.now, fault))
+            note("arm")
+
+        def disarm() -> None:
+            fault.disarm(self.pool)
+            note("disarm")
 
         if at <= sim.now:
             arm()
         else:
             sim.call_at(at, arm)
         if until is not None:
-            sim.call_at(until, lambda: fault.disarm(self.pool))
+            sim.call_at(until, disarm)
         return injection
 
     # -- ground truth ----------------------------------------------------------

@@ -8,12 +8,21 @@ Examples::
     python -m repro.harness all
     python -m repro.harness all --jobs 4          # fan out over processes
     python -m repro.harness fig1 fig3 --jobs 2
+    python -m repro.harness fig3 --trace t.jsonl --metrics m.json
+    python -m repro.harness naive_vs_scoped --json results.json
 
 With ``--jobs N`` the named experiments run concurrently in worker
 processes; tables are still printed in stable (sorted) name order, so
 the output is byte-identical to a serial run apart from the wall-clock
 footers.  A crashed or hung worker surfaces as an explicit error naming
 the experiment (P1/P2), never as silently missing output.
+
+``--trace`` / ``--metrics`` attach a :class:`repro.obs.ObservationSession`
+for the run and write a JSONL event+span trace and a JSON metrics
+snapshot; ``--json`` writes the experiments' result dataclasses as JSON.
+All three exports strip wall-clock fields, so same-seed runs produce
+byte-identical files (DESIGN.md §6).  Telemetry requires in-process
+execution, so ``--trace``/``--metrics`` reject ``--jobs > 1``.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ import time
 
 from repro.harness import experiments as E
 from repro.harness.parallel import ParallelRunner, WorkerFailure
+from repro.obs.export import ObservationSession, dump_json, to_jsonable
 
 #: name -> (callable accepting seed kwarg?, takes_seed)
 EXPERIMENTS: dict[str, tuple] = {
@@ -45,8 +55,13 @@ EXPERIMENTS: dict[str, tuple] = {
 }
 
 
-def run_experiment(name: str, seed: int = 0) -> str:
-    """Run one named experiment and return its rendered table."""
+def run_experiment_record(name: str, seed: int = 0) -> dict:
+    """Run one named experiment; return its rendered table and JSON data.
+
+    The record is ``{"name", "rendered", "data"}`` with *data* the
+    result dataclass converted to JSON types, wall-clock fields stripped
+    (they reach the user only through the table footer).
+    """
     try:
         fn, takes_seed = EXPERIMENTS[name]
     except KeyError:
@@ -57,11 +72,16 @@ def run_experiment(name: str, seed: int = 0) -> str:
     result = fn(seed=seed) if takes_seed else fn()
     table = result.table()
     table.add_footer(f"wall clock {time.perf_counter() - started:.3f}s")
-    return table.render()
+    return {"name": name, "rendered": table.render(), "data": to_jsonable(result)}
 
 
-def run_experiments(names: list[str], seed: int = 0, jobs: int = 1) -> list[str]:
-    """Render *names* (serially or over *jobs* workers), in input order."""
+def run_experiment(name: str, seed: int = 0) -> str:
+    """Run one named experiment and return its rendered table."""
+    return run_experiment_record(name, seed=seed)["rendered"]
+
+
+def run_experiments(names: list[str], seed: int = 0, jobs: int = 1) -> list[dict]:
+    """Run *names* (serially or over *jobs* workers); records in input order."""
     for name in names:
         if name not in EXPERIMENTS:
             raise SystemExit(
@@ -73,7 +93,7 @@ def run_experiments(names: list[str], seed: int = 0, jobs: int = 1) -> list[str]
     from repro.harness import __main__ as canonical
 
     runner = ParallelRunner(
-        functools.partial(canonical.run_experiment, seed=seed), workers=jobs
+        functools.partial(canonical.run_experiment_record, seed=seed), workers=jobs
     )
     try:
         return [outcome.value for outcome in runner.map(names)]
@@ -93,6 +113,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="run experiments over N worker processes "
                              "(output order stays stable)")
     parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a JSONL telemetry trace (events + spans)")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write a JSON metrics snapshot")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the experiment results as JSON")
     args = parser.parse_args(argv)
     if args.list or not args.experiment:
         print("experiments:")
@@ -101,10 +127,25 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if (args.trace or args.metrics) and args.jobs > 1:
+        parser.error("--trace/--metrics require --jobs 1 (telemetry is in-process)")
     names = sorted(EXPERIMENTS) if args.experiment == ["all"] else args.experiment
-    for text in run_experiments(names, seed=args.seed, jobs=args.jobs):
-        print(text)
+    if args.trace or args.metrics:
+        with ObservationSession(trace_path=args.trace, metrics_path=args.metrics):
+            records = run_experiments(names, seed=args.seed, jobs=args.jobs)
+    else:
+        records = run_experiments(names, seed=args.seed, jobs=args.jobs)
+    for record in records:
+        print(record["rendered"])
         print()
+    if args.json:
+        dump_json(
+            args.json,
+            {
+                "seed": args.seed,
+                "experiments": {r["name"]: r["data"] for r in records},
+            },
+        )
     return 0
 
 

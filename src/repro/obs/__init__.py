@@ -1,0 +1,53 @@
+"""``repro.obs``: the deterministic observability subsystem.
+
+    "An error is a piece of information indicating that some component
+    has failed" -- and so is every event this package publishes about
+    the reproduction itself.
+
+The subsystem has four layers, each usable alone:
+
+- :mod:`repro.obs.bus` -- the typed-topic event bus (stdlib-only; the
+  simulation kernel and the management chain feed it by duck typing, so
+  instrumentation is zero-cost when nobody subscribes);
+- :mod:`repro.obs.span` -- nested spans assembled live from the stream:
+  one per job journey (submit -> match -> claim -> execute -> result)
+  and one per error's propagation path, with a span per hop;
+- :mod:`repro.obs.metrics` -- labeled counter/gauge/histogram series;
+- :mod:`repro.obs.export` -- byte-reproducible JSONL traces and JSON
+  snapshots, plus the :class:`~repro.obs.export.ObservationSession`
+  behind the CLI's ``--trace`` / ``--metrics`` flags;
+- :mod:`repro.obs.console` -- the operator dashboard.
+
+Everything is stamped with *simulated* time and excludes wall clock
+from exports, per the DESIGN.md §6 determinism contract.
+"""
+
+from repro.obs.bus import (
+    TelemetryBus,
+    TelemetryEvent,
+    Topic,
+    ambient_bus,
+    clear_ambient,
+    install_ambient,
+)
+from repro.obs.console import GridConsole
+from repro.obs.export import ObservationSession, dump_json, to_jsonable
+from repro.obs.metrics import BusMetricsRecorder, MetricsRegistry
+from repro.obs.span import Span, SpanBuilder
+
+__all__ = [
+    "BusMetricsRecorder",
+    "GridConsole",
+    "MetricsRegistry",
+    "ObservationSession",
+    "Span",
+    "SpanBuilder",
+    "TelemetryBus",
+    "TelemetryEvent",
+    "Topic",
+    "ambient_bus",
+    "clear_ambient",
+    "dump_json",
+    "install_ambient",
+    "to_jsonable",
+]

@@ -1,0 +1,184 @@
+"""The telemetry bus: typed topics, structured events, zero-cost when idle.
+
+The paper's thesis is that errors must be visible to the right observer
+at the right scope; this bus makes the *reproduction itself* observable
+the same way.  Every interesting occurrence -- a job lifecycle step, a
+daemon protocol exchange, an error hop through the management chain, a
+fault arming, an I/O operation -- is published as a
+:class:`TelemetryEvent` on a :class:`TelemetryBus` under a typed
+:class:`Topic`.
+
+Two properties are load-bearing:
+
+- **Determinism** (DESIGN.md §6): events are stamped with *simulated*
+  time and carry only deterministic attributes (names, scopes, counts --
+  never wall clock, memory addresses, or host state), so a given seed
+  always produces the identical event stream.
+- **Zero cost when nobody listens**: emission sites guard with
+  ``if bus is not None and bus.active:`` before building any attributes,
+  and :meth:`TelemetryBus.emit` itself is a no-op while ``active`` is
+  False.  An uninstrumented run and a bus-attached-but-unsubscribed run
+  execute the identical simulation (same event count, same results).
+
+The module is deliberately dependency-free (stdlib only) so the lowest
+layers -- the simulation kernel duck-types its ``telemetry`` attribute,
+``core.propagation`` its ``bus`` -- can feed it without import cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "TelemetryBus",
+    "TelemetryEvent",
+    "Topic",
+    "ambient_bus",
+    "clear_ambient",
+    "install_ambient",
+]
+
+
+class Topic(str, enum.Enum):
+    """The typed event streams the reproduction publishes."""
+
+    #: job lifecycle: submit -> match -> claim -> execute -> result/hold
+    JOB = "job"
+    #: daemon protocol steps: ads, negotiation cycles, claims, shadows
+    DAEMON = "daemon"
+    #: error hops through the management chain (one event per hop)
+    ERROR = "error"
+    #: fault injector arm / disarm
+    FAULT = "fault"
+    #: per-operation remote I/O (chirp proxy ops, shadow RPC ops)
+    IO = "io"
+    #: simulation-kernel process start / end
+    PROCESS = "process"
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One occurrence: sim-time stamp, topic, name, sorted attributes.
+
+    Attributes are stored as a sorted tuple of ``(key, value)`` pairs so
+    events are hashable and their serialisation order never depends on
+    call-site kwarg order.
+    """
+
+    time: float
+    topic: Topic
+    name: str
+    attrs: tuple[tuple[str, Any], ...] = ()
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        """Look up one attribute by name."""
+        for k, v in self.attrs:
+            if k == key:
+                return v
+        return default
+
+    def __str__(self) -> str:
+        attrs = " ".join(f"{k}={v}" for k, v in self.attrs)
+        return f"t={self.time:.3f} [{self.topic.value}] {self.name}" + (
+            f" {attrs}" if attrs else ""
+        )
+
+
+class TelemetryBus:
+    """Synchronous publish/subscribe hub for :class:`TelemetryEvent`.
+
+    Subscribers are called in subscription order, immediately, on the
+    emitting thread (the simulation is single-threaded); a subscriber
+    must not mutate simulation state, only observe it.
+
+    ``active`` is a plain attribute maintained by subscribe/unsubscribe
+    so hot-path emission sites can guard with one attribute read.
+    ``dispatched`` counts events actually delivered -- it stays 0 for a
+    run with no subscribers, which the tests use to prove zero cost.
+    """
+
+    __slots__ = ("active", "dispatched", "_subs", "_topic_subs")
+
+    def __init__(self) -> None:
+        self.active = False
+        self.dispatched = 0
+        self._subs: list[Any] = []
+        self._topic_subs: dict[Topic, list[Any]] = {}
+
+    # -- subscription ---------------------------------------------------
+    def subscribe(self, fn, topic: Topic | str | None = None):
+        """Register *fn(event)*; returns a zero-argument unsubscriber.
+
+        With *topic* given, *fn* sees only that topic's events.
+        """
+        if topic is None:
+            self._subs.append(fn)
+
+            def unsubscribe() -> None:
+                self._subs.remove(fn)
+                self._refresh()
+
+        else:
+            key = Topic(topic)
+            self._topic_subs.setdefault(key, []).append(fn)
+
+            def unsubscribe() -> None:
+                self._topic_subs[key].remove(fn)
+                self._refresh()
+
+        self.active = True
+        return unsubscribe
+
+    def _refresh(self) -> None:
+        self.active = bool(self._subs) or any(self._topic_subs.values())
+
+    # -- emission -------------------------------------------------------
+    def emit(self, time: float, topic: Topic | str, name: str, **attrs: Any) -> None:
+        """Publish one event.  No-op (and allocation-free) while inactive."""
+        if not self.active:
+            return
+        event = TelemetryEvent(
+            time=time,
+            topic=Topic(topic),
+            name=name,
+            attrs=tuple(sorted(attrs.items())),
+        )
+        self.dispatched += 1
+        for fn in self._subs:
+            fn(event)
+        for fn in self._topic_subs.get(event.topic, ()):
+            fn(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n = len(self._subs) + sum(len(v) for v in self._topic_subs.values())
+        return f"<TelemetryBus active={self.active} subscribers={n}>"
+
+
+# -- the ambient bus ----------------------------------------------------
+#
+# CLI flags like ``--trace`` must reach pools constructed deep inside
+# experiment functions without threading a parameter through every
+# signature.  An *ambient* bus, installed for the duration of an
+# observation session, is picked up by every Pool built while it is
+# installed.  With nothing installed, each Pool gets its own inert bus.
+
+_ambient: TelemetryBus | None = None
+
+
+def install_ambient(bus: TelemetryBus) -> None:
+    """Make *bus* the ambient bus new pools attach to."""
+    global _ambient
+    _ambient = bus
+
+
+def clear_ambient() -> None:
+    """Remove the ambient bus (new pools get fresh inert buses again)."""
+    global _ambient
+    _ambient = None
+
+
+def ambient_bus() -> TelemetryBus:
+    """The installed ambient bus, or a fresh inert one."""
+    return _ambient if _ambient is not None else TelemetryBus()

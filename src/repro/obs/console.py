@@ -1,0 +1,106 @@
+"""The grid console: a live operator view over the telemetry stream.
+
+Where ``condor/tools.py`` renders *pool state* (what the daemons' data
+structures say now), the console renders the *event stream* (what has
+been happening): per-topic traffic, the jobs' current lifecycle states,
+error-hop counts by scope, and the most recent events -- the view an
+operator would keep open while a run progresses.
+
+Like every observer it is a plain bus subscriber: attach it, run, call
+:meth:`GridConsole.render` whenever a snapshot is wanted.  Rendering is
+pure over accumulated counts, so it is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.harness.report import Table
+from repro.obs.bus import TelemetryBus, TelemetryEvent, Topic
+
+__all__ = ["GridConsole"]
+
+#: JOB-topic event name -> the state the job is in afterwards.
+_JOB_STATE = {
+    "submit": "idle",
+    "match": "matched",
+    "claim_failed": "idle",
+    "execute": "running",
+    "site_failed": "idle",
+    "result": "completed",
+    "hold": "held",
+}
+
+
+class GridConsole:
+    """Accumulates telemetry and renders an operator dashboard."""
+
+    def __init__(self, bus: TelemetryBus, keep_last: int = 12):
+        self.counts: dict[tuple[str, str], int] = {}
+        self.job_states: dict[str, str] = {}
+        self.error_hops: dict[str, int] = {}
+        self.last_time = 0.0
+        self.recent: deque[TelemetryEvent] = deque(maxlen=keep_last)
+        self._unsubscribe = bus.subscribe(self.on_event)
+
+    def detach(self) -> None:
+        """Stop listening; accumulated state remains renderable."""
+        self._unsubscribe()
+
+    # -- the subscriber -------------------------------------------------
+    def on_event(self, event: TelemetryEvent) -> None:
+        """Fold one event into the dashboard state."""
+        key = (event.topic.value, event.name)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.last_time = max(self.last_time, event.time)
+        self.recent.append(event)
+        if event.topic is Topic.JOB:
+            job = event.attr("job")
+            state = _JOB_STATE.get(event.name)
+            if job is not None and state is not None:
+                self.job_states[job] = state
+        elif event.topic is Topic.ERROR:
+            scope = str(event.attr("scope", "?"))
+            self.error_hops[scope] = self.error_hops.get(scope, 0) + 1
+
+    # -- rendering ------------------------------------------------------
+    def render(self) -> str:
+        """The dashboard: traffic, job states, error hops, recent events."""
+        sections = [self._traffic_table(), self._jobs_table()]
+        if self.error_hops:
+            sections.append(self._errors_table())
+        if self.recent:
+            sections.append(self._recent_lines())
+        return "\n\n".join(sections)
+
+    def _traffic_table(self) -> str:
+        table = Table(
+            ["topic", "event", "count"],
+            title=f"grid console @ t={self.last_time:.1f}",
+        )
+        for (topic, name), count in sorted(self.counts.items()):
+            table.add_row([topic, name, count])
+        if not self.counts:
+            table.add_row(["(no events)", "-", 0])
+        return table.render()
+
+    def _jobs_table(self) -> str:
+        tally: dict[str, int] = {}
+        for state in self.job_states.values():
+            tally[state] = tally.get(state, 0) + 1
+        table = Table(["job state", "jobs"], title="jobs")
+        for state in ("idle", "matched", "running", "completed", "held"):
+            if state in tally:
+                table.add_row([state, tally[state]])
+        if not tally:
+            table.add_row(["(none)", 0])
+        return table.render()
+
+    def _errors_table(self) -> str:
+        table = Table(["scope", "hops"], title="error hops")
+        for scope in sorted(self.error_hops):
+            table.add_row([scope, self.error_hops[scope]])
+        return table.render()
+
+    def _recent_lines(self) -> str:
+        return "recent events:\n" + "\n".join(f"  {e}" for e in self.recent)

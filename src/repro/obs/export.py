@@ -1,0 +1,175 @@
+"""Exporters: JSONL traces, JSON metric snapshots, and the ambient session.
+
+All output obeys the determinism contract (DESIGN.md §6): records carry
+*simulated* time only; any wall-clock field (``wall_clock_seconds``,
+``seed_seconds``, ``wall_seconds``) is stripped before serialisation;
+keys are sorted and formatting is canonical.  Two runs with the same
+seed therefore produce byte-identical files -- the property the harness
+tests assert and the CLI acceptance check exercises.
+
+:class:`ObservationSession` is the one-stop wiring used by the CLI
+flags ``--trace`` / ``--metrics``: it installs an ambient bus (picked up
+by every :class:`~repro.condor.pool.Pool` built while it is active),
+records the raw event stream, assembles spans, folds the standard
+metric series, and writes the files on exit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Any
+
+from repro.obs.bus import (
+    TelemetryBus,
+    TelemetryEvent,
+    clear_ambient,
+    install_ambient,
+)
+from repro.obs.metrics import BusMetricsRecorder, MetricsRegistry
+from repro.obs.span import Span, SpanBuilder
+
+__all__ = [
+    "ObservationSession",
+    "WALL_CLOCK_FIELDS",
+    "dump_json",
+    "event_record",
+    "render_metrics",
+    "render_trace",
+    "span_record",
+    "to_jsonable",
+]
+
+#: Field names that carry real (host) time and must never be exported.
+WALL_CLOCK_FIELDS = frozenset(
+    {"wall_clock_seconds", "seed_seconds", "wall_seconds"}
+)
+
+
+def to_jsonable(obj: Any, exclude: frozenset[str] = WALL_CLOCK_FIELDS) -> Any:
+    """Convert *obj* (dataclasses, enums, numpy, containers) to JSON types.
+
+    Dataclass fields named in *exclude* are dropped -- the default set is
+    exactly the wall-clock fields, so experiment results serialise
+    reproducibly.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name), exclude)
+            for f in dataclasses.fields(obj)
+            if f.name not in exclude
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.name if isinstance(obj, enum.IntEnum) else obj.value
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v, exclude) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v, exclude) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(to_jsonable(v, exclude) for v in obj)
+    if isinstance(obj, bytes):
+        return obj.hex()
+    if isinstance(obj, (bool, int, float, str)) or obj is None:
+        return obj
+    # numpy scalars / arrays without a hard numpy dependency here.
+    if hasattr(obj, "tolist"):
+        return to_jsonable(obj.tolist(), exclude)
+    if hasattr(obj, "item"):
+        return obj.item()
+    return str(obj)
+
+
+def dump_json(path: str, obj: Any) -> None:
+    """Write *obj* as canonical JSON: sorted keys, fixed separators, LF."""
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        json.dump(to_jsonable(obj), fh, sort_keys=True, indent=2)
+        fh.write("\n")
+
+
+# -- trace records ------------------------------------------------------
+def event_record(event: TelemetryEvent) -> dict:
+    """The canonical JSON form of one bus event."""
+    return {
+        "kind": "event",
+        "t": event.time,
+        "topic": event.topic.value,
+        "name": event.name,
+        "attrs": {k: to_jsonable(v) for k, v in event.attrs},
+    }
+
+
+def span_record(span: Span) -> dict:
+    """The canonical JSON form of one span."""
+    return {
+        "kind": "span",
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "span_kind": span.kind,
+        "start": span.start,
+        "end": span.end,
+        "status": span.status,
+        "attrs": {k: to_jsonable(v) for k, v in span.attrs.items()},
+    }
+
+
+def render_trace(events: list[TelemetryEvent], spans: list[Span] | None = None) -> str:
+    """The JSONL trace body: events in emission order, then spans by id."""
+    lines = [
+        json.dumps(event_record(e), sort_keys=True, separators=(",", ":"))
+        for e in events
+    ]
+    for span in sorted(spans or [], key=lambda s: s.span_id):
+        lines.append(json.dumps(span_record(span), sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """The canonical JSON form of a metrics snapshot."""
+    return json.dumps(to_jsonable(registry.snapshot()), sort_keys=True, indent=2) + "\n"
+
+
+# -- the ambient observation session ------------------------------------
+class ObservationSession:
+    """Collects one run's telemetry and writes the export files on exit.
+
+    Usage::
+
+        with ObservationSession(trace_path="t.jsonl", metrics_path="m.json"):
+            run_fig3_scopes(seed=0)
+
+    While the session is active its bus is *ambient*: every Pool built
+    inside the block attaches to it.  Sessions do not nest (the last
+    installed bus wins), which matches their single CLI entry point.
+    """
+
+    def __init__(
+        self, trace_path: str | None = None, metrics_path: str | None = None
+    ):
+        self.trace_path = trace_path
+        self.metrics_path = metrics_path
+        self.bus = TelemetryBus()
+        self.events: list[TelemetryEvent] = []
+        self.spans = SpanBuilder(self.bus)
+        self.recorder = BusMetricsRecorder(self.bus)
+        self.registry = self.recorder.registry
+        self.bus.subscribe(self.events.append)
+
+    def __enter__(self) -> "ObservationSession":
+        install_ambient(self.bus)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        clear_ambient()
+        if exc_type is None:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the trace and/or metrics files now."""
+        if self.trace_path is not None:
+            with open(self.trace_path, "w", encoding="utf-8", newline="\n") as fh:
+                fh.write(render_trace(self.events, self.spans.spans))
+        if self.metrics_path is not None:
+            with open(self.metrics_path, "w", encoding="utf-8", newline="\n") as fh:
+                fh.write(render_metrics(self.registry))

@@ -1,0 +1,169 @@
+"""Labeled metric series: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` holds named series keyed by ``(name, labels)``
+in the Prometheus style (``io_ops_total{op=read}``), with three
+instrument kinds:
+
+- **counter** -- monotone accumulator (``inc``);
+- **gauge** -- last-write-wins sample (``set``);
+- **histogram** -- fixed-bucket distribution (``observe``), recording
+  count, sum, and cumulative bucket occupancy.
+
+Everything is deterministic: snapshots sort by series key, buckets are
+fixed at registration, and no wall-clock ever enters a series
+(DESIGN.md §6).  The :class:`BusMetricsRecorder` is the standard bridge
+from the telemetry bus: it maintains the event-count families every run
+gets for free.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.obs.bus import TelemetryBus, TelemetryEvent, Topic
+
+__all__ = ["BusMetricsRecorder", "MetricsRegistry"]
+
+#: Default histogram buckets: log-spaced, good for seconds and bytes alike.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0,
+)
+
+_SeriesKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: dict[str, object]) -> _SeriesKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(key: _SeriesKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class _Histogram:
+    """One histogram series: fixed bounds, cumulative counts."""
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds: tuple[float, ...]):
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def snapshot(self) -> dict:
+        buckets = {}
+        cumulative = 0
+        for bound, n in zip(self.bounds, self.counts):
+            cumulative += n
+            buckets[f"le={bound:g}"] = cumulative
+        buckets["le=+Inf"] = self.count
+        return {"count": self.count, "sum": self.total, "buckets": buckets}
+
+
+class MetricsRegistry:
+    """Labeled counter/gauge/histogram series with deterministic snapshots."""
+
+    def __init__(self) -> None:
+        self._counters: dict[_SeriesKey, float] = {}
+        self._gauges: dict[_SeriesKey, float] = {}
+        self._histograms: dict[_SeriesKey, _Histogram] = {}
+
+    # -- instruments ----------------------------------------------------
+    def counter(self, name: str, amount: float = 1.0, **labels) -> None:
+        """Add *amount* (default 1) to the counter series."""
+        key = _key(name, labels)
+        self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set the gauge series to *value*."""
+        self._gauges[_key(name, labels)] = value
+
+    def histogram(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels,
+    ) -> None:
+        """Observe *value* in the histogram series (*buckets* fix on first use)."""
+        key = _key(name, labels)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = _Histogram(tuple(buckets))
+        hist.observe(value)
+
+    # -- reads ----------------------------------------------------------
+    def counter_value(self, name: str, **labels) -> float:
+        return self._counters.get(_key(name, labels), 0.0)
+
+    def gauge_value(self, name: str, **labels) -> float | None:
+        return self._gauges.get(_key(name, labels))
+
+    def snapshot(self) -> dict:
+        """All series, sorted by rendered key -- stable for a given seed."""
+        return {
+            "counters": {
+                _render_key(k): v for k, v in sorted(self._counters.items())
+            },
+            "gauges": {_render_key(k): v for k, v in sorted(self._gauges.items())},
+            "histograms": {
+                _render_key(k): h.snapshot()
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+
+class BusMetricsRecorder:
+    """Bus subscriber that keeps the standard series families up to date.
+
+    - ``events_total{topic=}`` -- every event;
+    - ``job_events_total{event=}`` -- lifecycle steps;
+    - ``error_hops_total{hop=,scope=}`` -- management-chain hops;
+    - ``io_ops_total{channel=,op=}`` and ``io_bytes`` -- remote I/O;
+    - ``fault_events_total{event=}`` -- injector arms/disarms;
+    - ``sim_time_seconds`` -- gauge of the latest event's sim time.
+    """
+
+    def __init__(self, bus: TelemetryBus, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._unsubscribe = bus.subscribe(self.on_event)
+
+    def detach(self) -> None:
+        """Stop listening; the registry keeps its accumulated series."""
+        self._unsubscribe()
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        """Fold one telemetry event into the standard series."""
+        reg = self.registry
+        reg.counter("events_total", topic=event.topic.value)
+        reg.gauge("sim_time_seconds", event.time)
+        if event.topic is Topic.JOB:
+            reg.counter("job_events_total", event=event.name)
+        elif event.topic is Topic.ERROR:
+            reg.counter(
+                "error_hops_total", hop=event.name, scope=event.attr("scope", "?")
+            )
+        elif event.topic is Topic.IO:
+            reg.counter(
+                "io_ops_total",
+                channel=event.attr("channel", "?"),
+                op=event.attr("op", "?"),
+            )
+            nbytes = event.attr("bytes")
+            if nbytes is not None:
+                reg.histogram("io_bytes", float(nbytes))
+        elif event.topic is Topic.FAULT:
+            reg.counter("fault_events_total", event=event.name)

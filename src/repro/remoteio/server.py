@@ -94,6 +94,18 @@ class RemoteIoServer:
     def _dispatch(self, request: RpcRequest):
         """Generator: perform one operation against the home file system."""
         self.requests_served += 1
+        reply = yield from self._perform(request)
+        bus = self.sim.telemetry
+        if bus is not None and bus.active:
+            bus.emit(
+                self.sim.now, "io", "rpc_op",
+                channel="rpc", op=request.op, path=request.path,
+                ok=reply.ok, error=reply.error, bytes=len(reply.data),
+            )
+        return reply
+
+    def _perform(self, request: RpcRequest):
+        """Generator: the operation body (credential check + fs call)."""
         if self.credential_required:
             if request.credential is None:
                 return RpcReply(ok=False, error="BAD_CREDENTIAL")

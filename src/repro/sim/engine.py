@@ -255,7 +255,15 @@ class SimProcess(Event):
         return not self.triggered
 
     def _start(self) -> None:
+        t = self.sim.telemetry
+        if t is not None and t.active:
+            t.emit(self.sim.now, "process", "start", process=self.name)
         self._step(None, None)
+
+    def _note_end(self, outcome: str) -> None:
+        t = self.sim.telemetry
+        if t is not None and t.active:
+            t.emit(self.sim.now, "process", "end", process=self.name, outcome=outcome)
 
     def _resume(self, ev: Event) -> None:
         if self._waiting_on is not ev:
@@ -285,14 +293,17 @@ class SimProcess(Event):
                 else:
                     target = self.generator.send(value)
             except StopIteration as stop:
+                self._note_end("returned")
                 self.succeed(stop.value)
                 return
             except Interrupted as err:
                 # An interrupt that escapes the generator terminates it but is
                 # not a kernel error: the process "dies of" the interruption.
+                self._note_end("interrupted")
                 self.succeed(err.cause)
                 return
             except BaseException as err:  # noqa: BLE001 - deliberate: process died
+                self._note_end("failed")
                 self.fail(err)
                 return
             if not isinstance(target, Event):
@@ -343,6 +354,12 @@ class Simulator:
         self._queue: list[tuple[float, int, int, Callable[[], None]]] = []
         self._seq = 0
         self._running = False
+        #: Optional telemetry sink (duck-typed: anything with ``.active``
+        #: and ``.emit(time, topic, name, **attrs)``).  The kernel never
+        #: imports ``repro.obs``; a Pool attaches its bus here.  Emission
+        #: sites guard on ``.active`` so an idle sink costs one attribute
+        #: read per process transition.
+        self.telemetry = None
 
     # -- clock -----------------------------------------------------------
     @property

@@ -84,11 +84,23 @@ class TestUserLog:
     def test_user_visible_errors(self):
         log = UserLog()
         log.log(1.0, "1.0", UserLogEventType.TERMINATED, "completed(exit=0)")
-        log.log(2.0, "1.1", UserLogEventType.HELD, "error: whatever")
-        log.log(3.0, "1.2", UserLogEventType.TERMINATED, "error: smuggled")
+        log.log(2.0, "1.1", UserLogEventType.HELD, "error: whatever", error=True)
+        log.log(3.0, "1.2", UserLogEventType.TERMINATED, "environment(X@JOB)",
+                error=True)
         log.log(4.0, "1.3", UserLogEventType.SITE_FAILED, "absorbed")
         visible = log.user_visible_errors()
         assert {e.job_id for e in visible} == {"1.1", "1.2"}
+
+    def test_classification_is_structural_not_textual(self):
+        # The flag, not the detail prose, decides visibility: a detail
+        # that *mentions* "error" is not an error delivery by itself.
+        log = UserLog()
+        log.log(1.0, "1.0", UserLogEventType.TERMINATED, "error-shaped but clean")
+        log.log(2.0, "1.1", UserLogEventType.HELD, "quota", error=True)
+        assert [e.job_id for e in log.user_visible_errors()] == ["1.1"]
+        # The rendered format is unchanged by the new field.
+        assert "error-shaped but clean" in str(log.events[0])
+        assert str(log.events[0]).startswith(f"{1.0:10.3f}")
 
     def test_render(self):
         log = UserLog()

@@ -62,6 +62,12 @@ PUBLIC_MODULES = [
     "repro.jvm.program",
     "repro.jvm.throwables",
     "repro.jvm.wrapper",
+    "repro.obs",
+    "repro.obs.bus",
+    "repro.obs.console",
+    "repro.obs.export",
+    "repro.obs.metrics",
+    "repro.obs.span",
     "repro.pvm",
     "repro.pvm.program",
     "repro.remoteio",
