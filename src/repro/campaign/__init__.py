@@ -1,0 +1,50 @@
+"""``repro.campaign``: systematic fault-space sweeps over the catalogue.
+
+    "How many scenarios can you imagine?"  Enumerate them instead.
+
+The figure kernels exercise hand-picked faults; the campaign engine
+enumerates the cross product of the fault catalogue x injection windows
+x sites x job targets (and multi-fault combinations up to a configurable
+order), runs every cell deterministically, and audits each run twice:
+
+- *live*, via a :class:`~repro.obs.sanitize.PrincipleSanitizer` on the
+  telemetry bus, judging every error hop, interface crossing and job
+  outcome the instant it happens;
+- *post hoc*, via the classic :class:`~repro.core.principles.PrincipleAuditor`
+  over the run artifacts.
+
+The two verdicts must agree event-for-event on every cell -- the engine
+records the cross-check in each record.  Any violating cell is shrunk by
+delta debugging to a minimal injection set and emitted as a replayable
+JSON reproducer spec.
+
+Entry points: ``python -m repro.harness campaign`` (CLI),
+:func:`~repro.campaign.engine.run_campaign` (library).
+"""
+
+from repro.campaign.engine import run_campaign, run_cell_record
+from repro.campaign.report import render_summary
+from repro.campaign.shrink import ddmin, minimize_cell, replay
+from repro.campaign.spec import (
+    CATALOGUE,
+    CampaignConfig,
+    CellSpec,
+    FaultSpec,
+    build_fault,
+    enumerate_cells,
+)
+
+__all__ = [
+    "CATALOGUE",
+    "CampaignConfig",
+    "CellSpec",
+    "FaultSpec",
+    "build_fault",
+    "ddmin",
+    "enumerate_cells",
+    "minimize_cell",
+    "render_summary",
+    "replay",
+    "run_campaign",
+    "run_cell_record",
+]

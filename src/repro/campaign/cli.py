@@ -1,0 +1,116 @@
+"""The ``campaign`` CLI subcommand: ``python -m repro.harness campaign``.
+
+Examples::
+
+    python -m repro.harness campaign
+    python -m repro.harness campaign --mode classic --seed 3
+    python -m repro.harness campaign --jobs 4 --json report.json
+    python -m repro.harness campaign --kinds MisconfiguredJvm,CredentialExpiry
+    python -m repro.harness campaign --order 2 --mode classic
+    python -m repro.harness campaign --fail-fast --mode scoped
+    python -m repro.harness campaign --replay reproducer.json
+
+``--json`` writes the canonical campaign report (wall clock never enters
+it, so same-seed runs are byte-identical regardless of ``--jobs``).
+``--replay`` re-runs a shrunken reproducer spec and exits 0 only if the
+expected violations reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.campaign.engine import run_campaign
+from repro.campaign.report import render_summary
+from repro.campaign.shrink import replay
+from repro.campaign.spec import CATALOGUE, CampaignConfig
+from repro.harness.parallel import WorkerFailure
+from repro.obs.export import dump_json
+from repro.obs.sanitize import PrincipleViolationError
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness campaign",
+        description="Sweep the fault catalogue and audit every cell for P1-P4.",
+    )
+    parser.add_argument("--mode", default="scoped",
+                        choices=("scoped", "naive", "classic"),
+                        help="error handling under test (classic = naive)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run cells over N worker processes")
+    parser.add_argument("--order", type=int, default=1, metavar="K",
+                        help="also sweep multi-fault combinations up to size K")
+    parser.add_argument("--kinds", default=None, metavar="A,B,...",
+                        help="restrict the catalogue to these fault kinds")
+    parser.add_argument("--list-kinds", action="store_true",
+                        help="list the fault catalogue and exit")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the campaign report as canonical JSON")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="raise on the first live violation (debugging)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debugging violating cells")
+    parser.add_argument("--replay", metavar="SPEC", default=None,
+                        help="re-run a reproducer spec instead of a campaign")
+    args = parser.parse_args(argv)
+
+    if args.list_kinds:
+        print("fault catalogue:")
+        for info in CATALOGUE:
+            window = "windows: all" if info.disarmable else "windows: open-ended only"
+            print(f"  {info.kind}  (target: {info.target}; {window})")
+        return 0
+
+    if args.replay is not None:
+        outcome = replay(args.replay)
+        status = "reproduced" if outcome["reproduced"] else "NOT reproduced"
+        print(f"{outcome['cell']}: {status}")
+        for violation in outcome["violations"]:
+            print(f"  P{violation['principle']} [{violation['subject']}]: "
+                  f"{violation['description']}")
+        return 0 if outcome["reproduced"] else 1
+
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.order < 1:
+        parser.error("--order must be >= 1")
+    kinds = None if args.kinds is None else tuple(
+        k for k in args.kinds.split(",") if k
+    )
+    config = CampaignConfig(
+        mode=args.mode,
+        seed=args.seed,
+        max_order=args.order,
+        kinds=kinds,
+        fail_fast=args.fail_fast,
+    )
+    started = time.perf_counter()
+    try:
+        report = run_campaign(config, jobs=args.jobs, shrink=not args.no_shrink)
+    except WorkerFailure as exc:
+        if args.fail_fast and "PrincipleViolationError" in str(exc):
+            # The runner wraps the cell's fail-fast raise; the message
+            # already names the cell and the violation.
+            print(f"fail-fast: {exc}")
+            return 1
+        raise SystemExit(f"campaign worker failed: {exc}") from exc
+    except PrincipleViolationError as exc:
+        # --fail-fast froze a cell at its first live violation (shrink
+        # replays in-process, outside the runner).
+        print(f"fail-fast: {exc}")
+        return 1
+    summary = render_summary(report)
+    print(summary)
+    print(f"wall clock {time.perf_counter() - started:.3f}s")
+    if args.json:
+        dump_json(args.json, report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.harness
+    raise SystemExit(main())

@@ -1,0 +1,188 @@
+"""The campaign engine: run every cell, audit twice, shrink violations.
+
+One *cell* is one deterministic simulation: a fresh pool and workload
+(derived from the cell's seed), the cell's injection set scheduled on a
+fault injector, and **two independent audits** of the same run:
+
+- a :class:`~repro.obs.sanitize.PrincipleSanitizer` subscribed to the
+  pool's telemetry bus before the simulation starts, judging P1-P4 live;
+- the classic :class:`~repro.core.principles.PrincipleAuditor` over the
+  artifacts (ground truth, interface registry, propagation trace) after
+  it ends.
+
+Each cell record carries both verdict lists and the cross-check bit
+``live_matches_posthoc``; a disagreement means the instrumentation lost
+an event, which is itself a reportable defect of the observability
+layer.  Cells fan out over the
+:class:`~repro.harness.parallel.ParallelRunner` (seed-order merge), so a
+``--jobs 4`` campaign produces the byte-identical report to a serial
+one.  Violating cells are then shrunk in the parent process to minimal
+replayable reproducer specs.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.campaign.spec import CampaignConfig, CellSpec, build_fault, enumerate_cells
+from repro.condor import JobState, Pool, PoolConfig
+from repro.condor.daemons.config import CondorConfig
+from repro.core.principles import PrincipleAuditor, Violation
+from repro.faults import FaultInjector
+from repro.harness.parallel import ParallelRunner
+from repro.harness.workloads import WorkloadSpec, make_workload
+from repro.jvm.program import Step
+from repro.obs.sanitize import PrincipleSanitizer
+from repro.sim.rng import RngRegistry
+
+__all__ = ["run_campaign", "run_cell_record"]
+
+MB = 2**20
+
+
+def _violation_dict(violation: Violation) -> dict:
+    return {
+        "principle": violation.principle,
+        "subject": violation.subject,
+        "description": violation.description,
+    }
+
+
+def _violation_key(record: dict) -> tuple:
+    return (record["principle"], record["subject"], record["description"])
+
+
+def run_cell_record(cell: CellSpec, config: CampaignConfig) -> dict:
+    """Run one cell; return its JSON-ready record.
+
+    Deterministic in (cell, config) alone: the pool, workload and
+    arrival process all derive from the cell's seed, so the record is
+    identical whether the cell runs in this process or in a worker.
+    """
+    registry: list = []
+    condor = CondorConfig(
+        error_mode=cell.mode,
+        interface_registry=registry,
+        max_retries=config.max_retries,
+    )
+    pool = Pool(PoolConfig(n_machines=config.n_machines, seed=cell.seed, condor=condor))
+    rngs = RngRegistry(cell.seed)
+    workload = WorkloadSpec(
+        n_jobs=config.n_jobs,
+        io_fraction=0.5,
+        exception_fraction=0.1,
+        exit_code_fraction=0.1,
+        mean_work=8.0,
+    )
+    jobs = make_workload(workload, rngs.stream("campaign"), home_fs=pool.home_fs)
+    # Jobs that allocate exercise memory-pressure cells (cf. _run_mode).
+    for i, job in enumerate(jobs):
+        if i % 3 == 0:
+            job.image.program.steps.insert(0, Step.allocate(16 * MB))
+
+    injector = FaultInjector(pool)
+    sanitizer = PrincipleSanitizer(
+        pool.bus, injector=injector, jobs=jobs, fail_fast=config.fail_fast
+    )
+    # Stagger arrivals so the stream overlaps bounded injection windows.
+    arrivals = rngs.stream("arrivals")
+    when = 0.0
+    for job in jobs:
+        pool.submit_at(job, when)
+        when += arrivals.expovariate(1.0 / 40.0)
+    for spec in cell.injections:
+        injector.schedule(build_fault(spec, pool, jobs), at=spec.at, until=spec.until)
+
+    pool.run_until_done(max_time=config.max_time, expected_jobs=len(jobs))
+    sanitizer.detach()
+    if sanitizer.failure is not None:
+        # A fail-fast raise inside a daemon process is absorbed as that
+        # process's death; surface it here so --fail-fast always stops
+        # the campaign at the first violating cell.
+        raise sanitizer.failure
+
+    auditor = PrincipleAuditor()
+    auditor.audit_outcomes(injector.audit_outcomes(jobs))
+    auditor.audit_interfaces(registry)
+    auditor.audit_trace(pool.trace)
+
+    posthoc = [_violation_dict(v) for v in auditor.violations]
+    live = [_violation_dict(v) for v in sanitizer.violations]
+    completed = sum(1 for j in jobs if j.state is JobState.COMPLETED)
+    held = sum(1 for j in jobs if j.state is JobState.HELD)
+    return {
+        "cell": cell.cell_id,
+        "mode": cell.mode,
+        "seed": cell.seed,
+        "injections": [spec.as_dict() for spec in cell.injections],
+        "jobs": {
+            "total": len(jobs),
+            "completed": completed,
+            "held": held,
+            "unfinished": len(jobs) - completed - held,
+        },
+        "makespan": pool.sim.now,
+        "violations": posthoc,
+        "live_violations": live,
+        "live_matches_posthoc": (
+            sorted(map(_violation_key, posthoc)) == sorted(map(_violation_key, live))
+        ),
+    }
+
+
+def run_campaign(
+    config: CampaignConfig,
+    cells: tuple[CellSpec, ...] | None = None,
+    jobs: int = 1,
+    shrink: bool = True,
+) -> dict:
+    """Run the whole matrix; return the JSON-ready campaign report.
+
+    With ``jobs > 1`` cells fan out over worker processes; the merge
+    preserves matrix order, and every cell is self-seeding, so the
+    report is byte-identical to a serial run.  With *shrink*, each
+    violating cell gains a ``reproducer`` spec minimized by delta
+    debugging (in the parent, after the fan-out).
+    """
+    from repro.campaign.shrink import minimize_cell
+
+    if cells is None:
+        cells = enumerate_cells(config)
+    runner = ParallelRunner(
+        functools.partial(run_cell_record, config=config), workers=jobs
+    )
+    records = [outcome.value for outcome in runner.map(list(cells))]
+    for cell, record in zip(cells, records):
+        record["reproducer"] = (
+            minimize_cell(cell, config) if shrink and record["violations"] else None
+        )
+    by_principle = {f"P{p}": 0 for p in (1, 2, 3, 4)}
+    for record in records:
+        for violation in record["violations"]:
+            by_principle[f"P{violation['principle']}"] += 1
+    return {
+        "campaign": {
+            "mode": config.mode,
+            "seed": config.seed,
+            "n_jobs": config.n_jobs,
+            "n_machines": config.n_machines,
+            "max_order": config.max_order,
+            "max_retries": config.max_retries,
+            "max_time": config.max_time,
+            "windows": [list(window) for window in config.windows],
+            "kinds": None if config.kinds is None else list(config.kinds),
+            "sites": list(config.sites),
+            "job_indices": list(config.job_indices),
+        },
+        "cells": records,
+        "totals": {
+            "cells": len(records),
+            "cells_with_violations": sum(1 for r in records if r["violations"]),
+            "violations": sum(len(r["violations"]) for r in records),
+            "by_principle": by_principle,
+            "live_mismatches": sum(
+                1 for r in records if not r["live_matches_posthoc"]
+            ),
+            "reproducers": sum(1 for r in records if r["reproducer"] is not None),
+        },
+    }

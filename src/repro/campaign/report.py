@@ -1,0 +1,60 @@
+"""Console rendering for campaign reports.
+
+The JSON report (:func:`repro.campaign.engine.run_campaign`'s return
+value) is the artifact; this module is only its human-readable face --
+one row per cell, violation counts per principle, the live/post-hoc
+cross-check, and whether a reproducer was minimized.
+"""
+
+from __future__ import annotations
+
+from repro.harness.report import Table
+
+__all__ = ["render_summary"]
+
+
+def _principle_counts(violations: list[dict]) -> dict[int, int]:
+    counts = {1: 0, 2: 0, 3: 0, 4: 0}
+    for violation in violations:
+        counts[violation["principle"]] += 1
+    return counts
+
+
+def render_summary(report: dict) -> str:
+    """The campaign summary table for the console."""
+    campaign = report["campaign"]
+    table = Table(
+        ["cell", "jobs c/h/u", "P1", "P2", "P3", "P4", "live==posthoc", "reproducer"],
+        title=(
+            f"fault campaign: mode={campaign['mode']} seed={campaign['seed']} "
+            f"({report['totals']['cells']} cells)"
+        ),
+    )
+    for record in report["cells"]:
+        counts = _principle_counts(record["violations"])
+        jobs = record["jobs"]
+        # Strip the common mode/seed prefix; the title already carries it.
+        label = record["cell"].split("/", 2)[-1]
+        table.add_row([
+            label,
+            f"{jobs['completed']}/{jobs['held']}/{jobs['unfinished']}",
+            counts[1],
+            counts[2],
+            counts[3],
+            counts[4],
+            "ok" if record["live_matches_posthoc"] else "MISMATCH",
+            "minimal" if record["reproducer"] is not None else "-",
+        ])
+    totals = report["totals"]
+    by_principle = totals["by_principle"]
+    table.add_footer(
+        f"{totals['violations']} violations in "
+        f"{totals['cells_with_violations']}/{totals['cells']} cells  "
+        + "  ".join(f"{p}={by_principle[p]}" for p in ("P1", "P2", "P3", "P4"))
+    )
+    if totals["live_mismatches"]:
+        table.add_footer(
+            f"WARNING: {totals['live_mismatches']} cell(s) where live and "
+            f"post-hoc verdicts disagree"
+        )
+    return table.render()

@@ -1,0 +1,148 @@
+"""Delta-debugging shrinker and replayable reproducer specs.
+
+When a cell violates a principle, the interesting question is *which*
+injections matter.  :func:`ddmin` (Zeller & Hildebrandt's minimizing
+delta debugging) reduces the cell's injection set to a 1-minimal subset
+that still violates -- removing any single remaining injection makes the
+violation disappear.  Every re-execution is a fresh deterministic cell
+run, so the minimization itself is reproducible.
+
+The minimal cell is emitted as a **reproducer spec**: a small JSON
+document carrying everything a replay needs (mode, seed, pool shape,
+injections) plus the violations it is expected to reproduce.
+:func:`replay` rebuilds the cell from the spec, runs it, and compares
+the violation set against the expectation -- the acceptance check that
+"every reported violation ships with a reproducer that reproduces it".
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Sequence
+
+from repro.campaign.spec import CampaignConfig, CellSpec, FaultSpec
+
+__all__ = ["ddmin", "minimize_cell", "replay"]
+
+#: Format tag for reproducer specs (bump on incompatible change).
+FORMAT = "repro-campaign-reproducer/1"
+
+
+def _split(items: tuple, n: int) -> list[tuple]:
+    """*items* in *n* contiguous, non-empty, exhaustive chunks."""
+    size, rem = divmod(len(items), n)
+    chunks, start = [], 0
+    for i in range(n):
+        width = size + (1 if i < rem else 0)
+        if width:
+            chunks.append(items[start : start + width])
+        start += width
+    return chunks
+
+
+def ddmin(
+    items: tuple,
+    fails: Callable[[tuple], bool],
+) -> tuple:
+    """Minimize *items* to a 1-minimal subset for which *fails* holds.
+
+    Classic ddmin: try chunks at increasing granularity, then their
+    complements; restart whenever a smaller failing set is found.
+    Precondition: ``fails(items)`` is true.
+    """
+    if not fails(items):
+        raise ValueError("ddmin precondition: the full set must fail")
+    n = 2
+    while len(items) >= 2:
+        chunks = _split(items, n)
+        reduced = False
+        for chunk in chunks:
+            if fails(chunk):
+                items, n, reduced = chunk, 2, True
+                break
+        if not reduced:
+            for chunk in chunks:
+                complement = tuple(x for x in items if x not in chunk)
+                if complement and fails(complement):
+                    items, n, reduced = complement, max(n - 1, 2), True
+                    break
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(n * 2, len(items))
+    return items
+
+
+def minimize_cell(cell: CellSpec, config: CampaignConfig) -> dict:
+    """Shrink *cell*'s injections; return the confirmed reproducer spec.
+
+    The predicate is "this injection subset still produces at least one
+    violation"; the final spec records the minimal cell's own violation
+    set (which the replay check compares against), not the original
+    cell's -- subjects can shift as injections drop out.
+    """
+    from repro.campaign.engine import run_cell_record
+
+    def violations_of(injections: Sequence[FaultSpec]) -> list[dict]:
+        probe = cell.with_injections(tuple(injections))
+        return run_cell_record(probe, config)["violations"]
+
+    minimal = ddmin(cell.injections, lambda subset: bool(violations_of(subset)))
+    confirmed = violations_of(minimal)  # the confirmation run
+    return {
+        "format": FORMAT,
+        "cell": cell.with_injections(minimal).cell_id,
+        "mode": cell.mode,
+        "seed": cell.seed,
+        "n_jobs": config.n_jobs,
+        "n_machines": config.n_machines,
+        "max_retries": config.max_retries,
+        "max_time": config.max_time,
+        "injections": [spec.as_dict() for spec in minimal],
+        "expect": confirmed,
+    }
+
+
+def replay(spec: dict | str) -> dict:
+    """Re-run a reproducer spec (dict, or path to its JSON file).
+
+    Returns ``{"reproduced": bool, "cell", "expect", "violations"}``
+    where *reproduced* means the replayed violation set equals the
+    spec's expectation exactly (the runs are deterministic, so anything
+    short of equality is a real divergence).
+    """
+    from repro.campaign.engine import run_cell_record
+
+    if isinstance(spec, str):
+        with open(spec, encoding="utf-8") as fh:
+            spec = json.load(fh)
+    if spec.get("format") != FORMAT:
+        raise ValueError(f"not a campaign reproducer spec: format={spec.get('format')!r}")
+    config = CampaignConfig(
+        mode=spec["mode"],
+        seed=int(spec["seed"]),
+        n_jobs=int(spec["n_jobs"]),
+        n_machines=int(spec["n_machines"]),
+        max_retries=int(spec["max_retries"]),
+        max_time=float(spec["max_time"]),
+    )
+    injections = tuple(FaultSpec.from_dict(d) for d in spec["injections"])
+    cell = CellSpec(
+        cell_id=str(spec.get("cell", "replay")),
+        mode=config.mode,
+        seed=config.seed,
+        injections=injections,
+    )
+    record = run_cell_record(cell, config)
+
+    def key(violation: dict) -> tuple:
+        return (violation["principle"], violation["subject"], violation["description"])
+
+    expect = sorted(map(key, spec.get("expect", [])))
+    got = sorted(map(key, record["violations"]))
+    return {
+        "reproduced": expect == got and bool(got),
+        "cell": cell.cell_id,
+        "expect": spec.get("expect", []),
+        "violations": record["violations"],
+    }

@@ -1,0 +1,254 @@
+"""Campaign cell specifications: the enumerable, replayable fault matrix.
+
+Everything here is built from frozen dataclasses over primitives, for
+three load-bearing reasons:
+
+- **hashable** -- the :class:`~repro.harness.parallel.ParallelRunner`
+  keys its merge on the work item, so a cell spec must hash;
+- **picklable** -- cells cross process boundaries under ``--jobs N``;
+- **JSON-round-trippable** -- a shrunken reproducer spec is just a cell
+  spec written to disk, and replaying it rebuilds the identical cell.
+
+A :class:`FaultSpec` names a catalogue fault by kind plus its target
+(site or job index) and injection window; :func:`build_fault` is the
+single place that turns one into a live :class:`~repro.faults.Fault`
+against a pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.faults import (
+    CorruptProgramImage,
+    CredentialExpiry,
+    Fault,
+    HomeDiskFull,
+    HomeFilesystemOffline,
+    JvmBinaryMissing,
+    MachineCrash,
+    MemoryPressure,
+    MisconfiguredJvm,
+    MissingInputFile,
+    NetworkPartition,
+    ScratchDiskFull,
+)
+
+__all__ = [
+    "CATALOGUE",
+    "CampaignConfig",
+    "CellSpec",
+    "FaultSpec",
+    "build_fault",
+    "enumerate_cells",
+]
+
+MB = 2**20
+
+
+@dataclass(frozen=True)
+class KindInfo:
+    """Catalogue metadata for one fault kind."""
+
+    kind: str
+    #: "site" (per-machine), "job" (per-job), or "pool" (global)
+    target: str
+    #: False for faults whose arm() is irreversible -- such kinds only
+    #: get the open-ended window (a bounded window would call disarm()).
+    disarmable: bool = True
+
+
+#: The explicit-fault catalogue the campaign sweeps (faults.py table).
+#: SilentDataCorruption is deliberately absent: it produces *implicit*
+#: errors the P1 audit excludes by design (only the end-to-end layer can
+#: catch those), so a campaign cell could never judge it.
+CATALOGUE: tuple[KindInfo, ...] = (
+    KindInfo("MisconfiguredJvm", "site"),
+    KindInfo("JvmBinaryMissing", "site"),
+    KindInfo("ScratchDiskFull", "site"),
+    KindInfo("MachineCrash", "site"),
+    KindInfo("NetworkPartition", "site"),
+    KindInfo("MemoryPressure", "site"),
+    KindInfo("HomeFilesystemOffline", "pool"),
+    KindInfo("CredentialExpiry", "pool"),
+    KindInfo("CorruptProgramImage", "job"),
+    KindInfo("MissingInputFile", "job", disarmable=False),
+    KindInfo("HomeDiskFull", "pool"),
+)
+
+_KIND_INFO: dict[str, KindInfo] = {info.kind: info for info in CATALOGUE}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One catalogue fault with its target and injection window."""
+
+    kind: str
+    site: str | None = None
+    job_index: int | None = None
+    at: float = 0.0
+    until: float | None = None
+
+    def describe(self) -> str:
+        target = self.site or (
+            f"job{self.job_index}" if self.job_index is not None else "pool"
+        )
+        window = f"t{self.at:g}-" + (f"{self.until:g}" if self.until is not None else "end")
+        return f"{self.kind}@{target}[{window}]"
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "site": self.site,
+            "job_index": self.job_index,
+            "at": self.at,
+            "until": self.until,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> FaultSpec:
+        return cls(
+            kind=data["kind"],
+            site=data.get("site"),
+            job_index=data.get("job_index"),
+            at=float(data.get("at", 0.0)),
+            until=None if data.get("until") is None else float(data["until"]),
+        )
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One campaign cell: a mode, a seed, and an injection set."""
+
+    cell_id: str
+    mode: str
+    seed: int
+    injections: tuple[FaultSpec, ...]
+
+    def with_injections(self, injections: tuple[FaultSpec, ...]) -> CellSpec:
+        """The same cell restricted to *injections* (for shrinking)."""
+        label = "+".join(spec.describe() for spec in injections) or "clean"
+        return CellSpec(
+            cell_id=f"{self.mode}/s{self.seed}/{label}",
+            mode=self.mode,
+            seed=self.seed,
+            injections=injections,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that shapes a campaign, frozen so cells pickle with it."""
+
+    mode: str = "scoped"
+    seed: int = 0
+    n_jobs: int = 4
+    n_machines: int = 3
+    #: maximum number of simultaneous faults per cell (1 = singles only)
+    max_order: int = 1
+    #: injection windows swept per fault: (at, until); None = open-ended
+    windows: tuple[tuple[float, float | None], ...] = ((0.0, None), (90.0, 420.0))
+    #: restrict to these kinds (None = the full catalogue)
+    kinds: tuple[str, ...] | None = None
+    #: machines targeted by site faults
+    sites: tuple[str, ...] = ("exec000",)
+    #: workload indices targeted by job faults
+    job_indices: tuple[int, ...] = (0,)
+    max_retries: int = 6
+    max_time: float = 100_000.0
+    fail_fast: bool = False
+
+    def catalogue(self) -> tuple[KindInfo, ...]:
+        if self.kinds is None:
+            return CATALOGUE
+        unknown = set(self.kinds) - set(_KIND_INFO)
+        if unknown:
+            raise ValueError(
+                f"unknown fault kind(s) {sorted(unknown)}; "
+                f"catalogue: {sorted(_KIND_INFO)}"
+            )
+        return tuple(info for info in CATALOGUE if info.kind in self.kinds)
+
+
+def _targets(info: KindInfo, config: CampaignConfig) -> tuple[dict, ...]:
+    """The (site/job_index) bindings this kind sweeps."""
+    if info.target == "site":
+        return tuple({"site": site} for site in config.sites)
+    if info.target == "job":
+        return tuple({"job_index": index} for index in config.job_indices)
+    return ({},)
+
+
+def _single_specs(config: CampaignConfig) -> list[FaultSpec]:
+    """Every single-fault spec in the matrix, catalogue order."""
+    specs = []
+    for info in config.catalogue():
+        for target in _targets(info, config):
+            for at, until in config.windows:
+                if until is not None and not info.disarmable:
+                    continue
+                specs.append(FaultSpec(kind=info.kind, at=at, until=until, **target))
+    return specs
+
+
+def enumerate_cells(config: CampaignConfig) -> tuple[CellSpec, ...]:
+    """The full cell matrix: singles, then combos up to ``max_order``.
+
+    Combinations pair *distinct kinds*, each at its first target with the
+    open-ended window -- pairing every window x target x kind squares the
+    matrix for little extra coverage (the shrinker reduces any violating
+    combo back to its essential subset anyway).
+    """
+
+    def cell(injections: tuple[FaultSpec, ...]) -> CellSpec:
+        label = "+".join(spec.describe() for spec in injections)
+        return CellSpec(
+            cell_id=f"{config.mode}/s{config.seed}/{label}",
+            mode=config.mode,
+            seed=config.seed,
+            injections=injections,
+        )
+
+    cells = [cell((spec,)) for spec in _single_specs(config)]
+    if config.max_order >= 2:
+        combo_pool = []
+        seen_kinds: set[str] = set()
+        for spec in _single_specs(config):
+            if spec.kind not in seen_kinds and spec.until is None:
+                seen_kinds.add(spec.kind)
+                combo_pool.append(spec)
+        for order in range(2, config.max_order + 1):
+            for combo in itertools.combinations(combo_pool, order):
+                cells.append(cell(combo))
+    return tuple(cells)
+
+
+def build_fault(spec: FaultSpec, pool, jobs) -> Fault:
+    """Instantiate *spec* against *pool* and the workload *jobs*."""
+    kind = spec.kind
+    if kind == "MisconfiguredJvm":
+        return MisconfiguredJvm(spec.site)
+    if kind == "JvmBinaryMissing":
+        return JvmBinaryMissing(spec.site)
+    if kind == "ScratchDiskFull":
+        return ScratchDiskFull(spec.site)
+    if kind == "MachineCrash":
+        return MachineCrash(spec.site)
+    if kind == "NetworkPartition":
+        # Exec-side partition: the submit machine cannot reach the site.
+        return NetworkPartition("submit", spec.site)
+    if kind == "MemoryPressure":
+        machine = pool.machines[spec.site]
+        return MemoryPressure(spec.site, machine.memory_total - 10 * MB)
+    if kind == "HomeFilesystemOffline":
+        return HomeFilesystemOffline()
+    if kind == "CredentialExpiry":
+        return CredentialExpiry()
+    if kind == "CorruptProgramImage":
+        return CorruptProgramImage(jobs[spec.job_index])
+    if kind == "MissingInputFile":
+        return MissingInputFile(jobs[spec.job_index])
+    if kind == "HomeDiskFull":
+        return HomeDiskFull()
+    raise ValueError(f"unknown fault kind {kind!r}")

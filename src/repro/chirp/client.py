@@ -123,6 +123,10 @@ class CondorIoLibrary:
         self.mode = mode
         self.request_timeout = request_timeout
         self.interface = _build_interface(mode)
+        # Publish every crossing on the pool's telemetry bus (the kernel
+        # carries it as ``sim.telemetry``) so live auditors see P2/P4
+        # material as it happens, not only post-hoc.
+        self.interface.bus = getattr(sim, "telemetry", None)
         self._conn = None
 
     # -- plumbing ----------------------------------------------------------

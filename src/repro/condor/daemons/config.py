@@ -20,7 +20,7 @@ __all__ = ["CondorConfig"]
 
 @dataclass
 class CondorConfig:
-    error_mode: str = "scoped"  # "naive" | "scoped"
+    error_mode: str = "scoped"  # "naive" | "scoped" ("classic" = alias for "naive")
     #: Matchmaker fair share: negotiate for the user with the least
     #: recent usage first (usage halves each cycle, like Condor's
     #: effective user priority).  Off = pure submission order.
@@ -60,5 +60,12 @@ class CondorConfig:
     interface_registry: list | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
+        # "classic" is the campaign literature's name for the pre-fix
+        # behaviour; normalise it so every downstream mode check stays a
+        # two-way branch.
+        if self.error_mode == "classic":
+            self.error_mode = "naive"
         if self.error_mode not in ("naive", "scoped"):
-            raise ValueError(f"error_mode must be 'naive' or 'scoped', not {self.error_mode!r}")
+            raise ValueError(
+                f"error_mode must be 'naive', 'scoped' or 'classic', not {self.error_mode!r}"
+            )

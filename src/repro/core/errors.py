@@ -32,10 +32,22 @@ __all__ = [
     "GridError",
     "escaping",
     "explicit",
+    "format_error",
     "implicit",
 ]
 
 _ids = itertools.count(1)
+
+
+def format_error(name: str, scope: str, kind: str, detail: str = "") -> str:
+    """The canonical one-line rendering of an error.
+
+    Shared by :meth:`GridError.__str__` and the live sanitizer (which
+    reconstructs the same text from telemetry attributes), so live and
+    post-hoc violation reports are textually identical.
+    """
+    extra = f": {detail}" if detail else ""
+    return f"{name}[{scope}/{kind}]{extra}"
 
 
 class ErrorKind(enum.Enum):
@@ -110,8 +122,7 @@ class GridError:
         return out
 
     def __str__(self) -> str:
-        extra = f": {self.detail}" if self.detail else ""
-        return f"{self.name}[{self.scope}/{self.kind.value}]{extra}"
+        return format_error(self.name, str(self.scope), self.kind.value, self.detail)
 
 
 class EscapingError(Exception):

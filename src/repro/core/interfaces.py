@@ -83,6 +83,10 @@ class ErrorInterface:
         self.name = name
         self._operations: dict[str, Operation] = {}
         self.crossings: list[_Crossing] = []
+        #: Optional telemetry sink (duck-typed: ``.active`` + ``.emit``);
+        #: the I/O library wires the pool bus here so every crossing is
+        #: also published as an INTERFACE-topic event for live auditing.
+        self.bus = None
 
     def operation(
         self, name: str, errors: set[str] | frozenset[str] = frozenset(), generic: bool = False
@@ -108,6 +112,26 @@ class ErrorInterface:
         """All declared operations."""
         return list(self._operations.values())
 
+    def _record(self, op: Operation, error: GridError, declared: bool,
+                converted: bool, time: float) -> None:
+        self.crossings.append(_Crossing(op, error, declared, converted, time))
+        bus = self.bus
+        if bus is not None and bus.active:
+            bus.emit(
+                time,
+                "interface",
+                "crossing",
+                interface=self.name,
+                op=str(op),
+                error=error.name,
+                scope=error.scope.name,
+                kind=error.kind.value,
+                generic=op.generic,
+                declared=declared,
+                documented=error.name in op.errors,
+                converted=converted,
+            )
+
     # -- the runtime checkpoint -------------------------------------------
     def vet(self, op_name: str, error: GridError, time: float = 0.0) -> GridError:
         """Present explicit *error* at operation *op_name*.
@@ -120,10 +144,10 @@ class ErrorInterface:
         if error.kind is ErrorKind.ESCAPING:
             # Escaping errors never pass through an interface as results;
             # re-raise so they keep climbing.
-            self.crossings.append(_Crossing(op, error, False, True, time))
+            self._record(op, error, False, True, time)
             raise EscapingError(error)
         declared = op.declares(error.name)
-        self.crossings.append(_Crossing(op, error, declared, not declared, time))
+        self._record(op, error, declared, not declared, time)
         if declared:
             return error
         raise EscapingError(error.as_escaping(by=f"{self.name}.{op_name}"))

@@ -29,7 +29,14 @@ from repro.core.interfaces import ErrorInterface
 from repro.core.propagation import EventType, PropagationTrace
 from repro.core.scope import ErrorScope
 
-__all__ = ["JobGroundTruth", "PrincipleAuditor", "Violation"]
+__all__ = [
+    "JobGroundTruth",
+    "PrincipleAuditor",
+    "Violation",
+    "check_crossing",
+    "check_hop",
+    "check_outcome",
+]
 
 
 @dataclass(frozen=True)
@@ -61,6 +68,87 @@ class JobGroundTruth:
     detail: str = ""
 
 
+# -- the shared checks -------------------------------------------------
+#
+# Each principle's judgement is a pure function over primitive facts, so
+# the post-hoc auditor (reading run artifacts) and the live sanitizer
+# (reading telemetry events) produce *identical* Violation objects for
+# the same occurrence -- the property the cross-check tests pin down.
+
+
+def check_outcome(outcome: JobGroundTruth) -> Violation | None:
+    """P1: an environmental error presented as a valid program result."""
+    if (
+        outcome.truth_scope is not None
+        and not outcome.truth_scope.within_program_contract
+        and outcome.claimed_program_result
+    ):
+        return Violation(
+            1,
+            f"environmental error of {outcome.truth_scope} scope "
+            f"presented as a valid program result"
+            + (f" ({outcome.detail})" if outcome.detail else ""),
+            subject=outcome.job_id,
+        )
+    return None
+
+
+def check_crossing(
+    op_text: str,
+    error_name: str,
+    scope: ErrorScope,
+    generic: bool,
+    declared: bool,
+    documented: bool,
+) -> list[Violation]:
+    """P4 (and P2) for one interface crossing.
+
+    A generic operation that let an undocumented error through as a
+    declared result is a P4 violation; if that error was additionally
+    out of the program contract, the crossing should have escaped -- P2.
+    """
+    found: list[Violation] = []
+    if generic and declared and not documented:
+        found.append(
+            Violation(
+                4,
+                f"undocumented error {error_name!r} passed "
+                f"through generic interface",
+                subject=op_text,
+            )
+        )
+        if not scope.within_program_contract:
+            found.append(
+                Violation(
+                    2,
+                    f"out-of-contract error {error_name!r} "
+                    f"({scope} scope) presented as an "
+                    f"explicit result instead of escaping",
+                    subject=op_text,
+                )
+            )
+    return found
+
+
+def check_hop(hop: str, manager: str, error_text: str, scope_text: str) -> Violation | None:
+    """P3 for one management-chain hop (by event name)."""
+    if hop == EventType.MISHANDLED.value:
+        return Violation(
+            3,
+            f"{error_text} consumed by {manager!r}, which does "
+            f"not manage {scope_text} scope",
+            subject=manager,
+        )
+    if hop == EventType.UNMANAGED.value:
+        return Violation(
+            3,
+            f"{error_text} reached the end of the chain with no "
+            f"manager for {scope_text} scope",
+            subject=manager,
+        )
+    return None
+
+
 class PrincipleAuditor:
     """Collects run artifacts and reports violations of Principles 1-4."""
 
@@ -70,22 +158,7 @@ class PrincipleAuditor:
     # -- P1 ------------------------------------------------------------
     def audit_outcomes(self, outcomes: list[JobGroundTruth]) -> list[Violation]:
         """Check every job outcome for P1 violations."""
-        found = []
-        for outcome in outcomes:
-            if (
-                outcome.truth_scope is not None
-                and not outcome.truth_scope.within_program_contract
-                and outcome.claimed_program_result
-            ):
-                found.append(
-                    Violation(
-                        1,
-                        f"environmental error of {outcome.truth_scope} scope "
-                        f"presented as a valid program result"
-                        + (f" ({outcome.detail})" if outcome.detail else ""),
-                        subject=outcome.job_id,
-                    )
-                )
+        found = [v for v in map(check_outcome, outcomes) if v is not None]
         self.violations.extend(found)
         return found
 
@@ -96,26 +169,16 @@ class PrincipleAuditor:
         for iface in interfaces:
             for crossing in iface.crossings:
                 op = crossing.operation
-                undocumented = crossing.error.name not in op.errors
-                if op.generic and crossing.declared and undocumented:
-                    found.append(
-                        Violation(
-                            4,
-                            f"undocumented error {crossing.error.name!r} passed "
-                            f"through generic interface",
-                            subject=str(op),
-                        )
+                found.extend(
+                    check_crossing(
+                        str(op),
+                        crossing.error.name,
+                        crossing.error.scope,
+                        op.generic,
+                        crossing.declared,
+                        crossing.error.name in op.errors,
                     )
-                    if not crossing.error.scope.within_program_contract:
-                        found.append(
-                            Violation(
-                                2,
-                                f"out-of-contract error {crossing.error.name!r} "
-                                f"({crossing.error.scope} scope) presented as an "
-                                f"explicit result instead of escaping",
-                                subject=str(op),
-                            )
-                        )
+                )
         self.violations.extend(found)
         return found
 
@@ -124,24 +187,11 @@ class PrincipleAuditor:
         """Check the propagation trace for P3 violations."""
         found = []
         for event in trace:
-            if event.event is EventType.MISHANDLED:
-                found.append(
-                    Violation(
-                        3,
-                        f"{event.error} consumed by {event.manager!r}, which does "
-                        f"not manage {event.error.scope} scope",
-                        subject=event.manager,
-                    )
-                )
-            elif event.event is EventType.UNMANAGED:
-                found.append(
-                    Violation(
-                        3,
-                        f"{event.error} reached the end of the chain with no "
-                        f"manager for {event.error.scope} scope",
-                        subject=event.manager,
-                    )
-                )
+            violation = check_hop(
+                event.event.value, event.manager, str(event.error), str(event.error.scope)
+            )
+            if violation is not None:
+                found.append(violation)
         self.violations.extend(found)
         return found
 

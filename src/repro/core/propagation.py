@@ -198,6 +198,8 @@ class ManagementChain:
                 error_id=obs_id,
                 error=error.name,
                 scope=error.scope.name,
+                kind=error.kind.value,
+                detail=error.detail,
                 manager=manager,
             )
 

@@ -23,7 +23,25 @@ __all__ = ["FaultInjector", "Injection"]
 
 @dataclass
 class Injection:
-    """One scheduled (fault, interval) pair."""
+    """One scheduled (fault, interval) pair.
+
+    The injection window is the **closed** interval ``[at, until]``
+    (``[at, inf)`` when open-ended), and an attempt occupies the closed
+    interval ``[start, end]``; the injection is active during the attempt
+    iff the two intervals intersect.  Closed-closed is the deliberate
+    choice for ground truth: at the boundary instant the arm/disarm
+    callback and the attempt event carry the same timestamp, so the
+    attempt *may* have observed the armed fault -- and blame must err
+    toward the fault, never toward the program.  Consequences, pinned by
+    ``tests/faults/test_injection_properties.py``:
+
+    - a zero-length attempt (``start == end``) inside the window counts;
+    - an instantaneous fault (``at == until``) counts for any attempt
+      whose interval contains ``at``, including its endpoints;
+    - an attempt ending exactly at ``at``, or starting exactly at
+      ``until``, counts (previously both fell through the half-open
+      ``start < hi and end > lo`` test).
+    """
 
     fault: Fault
     at: float = 0.0
@@ -36,9 +54,7 @@ class Injection:
             return False
         if fault.job_id is not None and fault.job_id != job_id:
             return False
-        lo = self.at
-        hi = self.until if self.until is not None else float("inf")
-        return start < hi and end > lo
+        return end >= self.at and (self.until is None or start <= self.until)
 
 
 class FaultInjector:
@@ -115,41 +131,44 @@ class FaultInjector:
                 )
 
     # -- the P1 audit bridge ------------------------------------------------------
-    def audit_outcomes(self, jobs: list[Job]) -> list[JobGroundTruth]:
-        """Build :class:`JobGroundTruth` records for the principle auditor.
+    def truth_for_job(self, job: Job) -> JobGroundTruth:
+        """The ground-truth record for one job, as it stands right now.
 
         A completed job whose delivered result matches its expected
         clean-run result is clean (truth None) even if a fault was nearby:
         the fault did not become an error.  A mismatch while a fault
         overlapped the decisive attempt pins the truth to that fault.
+
+        Callable mid-run: the live sanitizer invokes it at each terminal
+        job event, when the job's final state and decisive attempt are
+        already recorded, so the verdict equals the post-hoc one.
         """
-        self.stamp_attempts(jobs)
-        records = []
-        for job in jobs:
-            claimed = (
-                job.state is JobState.COMPLETED
-                and job.final_result is not None
-                and job.final_result.is_program_result
+        claimed = (
+            job.state is JobState.COMPLETED
+            and job.final_result is not None
+            and job.final_result.is_program_result
+        )
+        truth: ErrorScope | None = None
+        if job.attempts:
+            decisive = job.attempts[-1]
+            end = decisive.ended if decisive.ended >= 0 else self.pool.sim.now
+            explicit_truth = self.truth_for_attempt(
+                decisive.site, job.job_id, decisive.started, end,
+                include_implicit=False,
             )
-            truth: ErrorScope | None = None
-            if job.attempts:
-                decisive = job.attempts[-1]
-                end = decisive.ended if decisive.ended >= 0 else self.pool.sim.now
-                explicit_truth = self.truth_for_attempt(
-                    decisive.site, job.job_id, decisive.started, end,
-                    include_implicit=False,
-                )
-                if claimed and job.expected_result is not None:
-                    if not job.final_result.same_outcome(job.expected_result):
-                        truth = explicit_truth
-                else:
+            if claimed and job.expected_result is not None:
+                if not job.final_result.same_outcome(job.expected_result):
                     truth = explicit_truth
-            records.append(
-                JobGroundTruth(
-                    job_id=job.job_id,
-                    truth_scope=truth,
-                    claimed_program_result=claimed,
-                    detail=f"state={job.state.value}",
-                )
-            )
-        return records
+            else:
+                truth = explicit_truth
+        return JobGroundTruth(
+            job_id=job.job_id,
+            truth_scope=truth,
+            claimed_program_result=claimed,
+            detail=f"state={job.state.value}",
+        )
+
+    def audit_outcomes(self, jobs: list[Job]) -> list[JobGroundTruth]:
+        """Build :class:`JobGroundTruth` records for the principle auditor."""
+        self.stamp_attempts(jobs)
+        return [self.truth_for_job(job) for job in jobs]

@@ -4,6 +4,7 @@ Examples::
 
     python -m repro.harness --list
     python -m repro.harness fig4
+    python -m repro.harness campaign --mode classic --jobs 4
     python -m repro.harness naive_vs_scoped --seed 3
     python -m repro.harness all
     python -m repro.harness all --jobs 4          # fan out over processes
@@ -102,6 +103,13 @@ def run_experiments(names: list[str], seed: int = 0, jobs: int = 1) -> list[dict
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "campaign":
+        # The fault-campaign engine has its own argument surface; hand
+        # the rest of the command line straight to it.
+        from repro.campaign.cli import main as campaign_main
+
+        return campaign_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Run the paper-reproduction experiments.",
@@ -124,6 +132,8 @@ def main(argv: list[str] | None = None) -> int:
         print("experiments:")
         for name in sorted(EXPERIMENTS):
             print(f"  {name}")
+        print("subcommands:")
+        print("  campaign  (fault-campaign engine; 'campaign --help' for flags)")
         return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")

@@ -16,6 +16,9 @@ The subsystem has four layers, each usable alone:
 - :mod:`repro.obs.export` -- byte-reproducible JSONL traces and JSON
   snapshots, plus the :class:`~repro.obs.export.ObservationSession`
   behind the CLI's ``--trace`` / ``--metrics`` flags;
+- :mod:`repro.obs.sanitize` -- the live principle sanitizer, asserting
+  P1-P4 on the stream as the run executes (the campaign engine's
+  in-flight counterpart to the post-hoc auditor);
 - :mod:`repro.obs.console` -- the operator dashboard.
 
 Everything is stamped with *simulated* time and excludes wall clock
@@ -33,6 +36,7 @@ from repro.obs.bus import (
 from repro.obs.console import GridConsole
 from repro.obs.export import ObservationSession, dump_json, to_jsonable
 from repro.obs.metrics import BusMetricsRecorder, MetricsRegistry
+from repro.obs.sanitize import PrincipleSanitizer, PrincipleViolationError
 from repro.obs.span import Span, SpanBuilder
 
 __all__ = [
@@ -40,6 +44,8 @@ __all__ = [
     "GridConsole",
     "MetricsRegistry",
     "ObservationSession",
+    "PrincipleSanitizer",
+    "PrincipleViolationError",
     "Span",
     "SpanBuilder",
     "TelemetryBus",

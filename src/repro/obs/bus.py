@@ -50,6 +50,8 @@ class Topic(str, enum.Enum):
     DAEMON = "daemon"
     #: error hops through the management chain (one event per hop)
     ERROR = "error"
+    #: one event per error presented at an ErrorInterface (vet crossing)
+    INTERFACE = "interface"
     #: fault injector arm / disarm
     FAULT = "fault"
     #: per-operation remote I/O (chirp proxy ops, shadow RPC ops)

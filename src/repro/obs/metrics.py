@@ -132,6 +132,8 @@ class BusMetricsRecorder:
     - ``events_total{topic=}`` -- every event;
     - ``job_events_total{event=}`` -- lifecycle steps;
     - ``error_hops_total{hop=,scope=}`` -- management-chain hops;
+    - ``interface_crossings_total{interface=,declared=}`` -- errors
+      presented at error interfaces;
     - ``io_ops_total{channel=,op=}`` and ``io_bytes`` -- remote I/O;
     - ``fault_events_total{event=}`` -- injector arms/disarms;
     - ``sim_time_seconds`` -- gauge of the latest event's sim time.
@@ -155,6 +157,12 @@ class BusMetricsRecorder:
         elif event.topic is Topic.ERROR:
             reg.counter(
                 "error_hops_total", hop=event.name, scope=event.attr("scope", "?")
+            )
+        elif event.topic is Topic.INTERFACE:
+            reg.counter(
+                "interface_crossings_total",
+                interface=event.attr("interface", "?"),
+                declared=event.attr("declared", "?"),
             )
         elif event.topic is Topic.IO:
             reg.counter(

@@ -1,0 +1,78 @@
+"""The ``campaign`` subcommand of ``python -m repro.harness``."""
+
+import json
+
+import pytest
+
+from repro.campaign.cli import main as campaign_main
+from repro.campaign.spec import CATALOGUE, CampaignConfig, enumerate_cells
+from repro.campaign.shrink import minimize_cell
+from repro.harness.__main__ import main as harness_main
+
+FAST = ["--kinds", "MisconfiguredJvm,CredentialExpiry"]
+
+
+def test_harness_dispatches_campaign_subcommand(capsys):
+    assert harness_main(["campaign", "--list-kinds"]) == 0
+    out = capsys.readouterr().out
+    assert "fault catalogue:" in out
+
+
+def test_list_kinds_covers_the_catalogue(capsys):
+    assert campaign_main(["--list-kinds"]) == 0
+    out = capsys.readouterr().out
+    for info in CATALOGUE:
+        assert info.kind in out
+
+
+def test_scoped_campaign_prints_clean_summary(capsys):
+    assert campaign_main(FAST) == 0
+    out = capsys.readouterr().out
+    assert "MisconfiguredJvm" in out
+    assert "wall clock" in out
+    assert "0 violations" in out
+
+
+def test_classic_campaign_reports_violations(capsys):
+    assert campaign_main(FAST + ["--mode", "classic"]) == 0
+    out = capsys.readouterr().out
+    assert "violation" in out
+
+
+def test_json_report_is_written_and_canonical(tmp_path, capsys):
+    path = tmp_path / "report.json"
+    assert campaign_main(FAST + ["--json", str(path)]) == 0
+    report = json.loads(path.read_text())
+    assert report["campaign"]["mode"] == "scoped"
+    assert report["totals"]["violations"] == 0
+    assert "wall" not in path.read_text()
+
+
+def test_fail_fast_exits_nonzero_on_classic(capsys):
+    code = campaign_main(
+        ["--kinds", "MisconfiguredJvm", "--mode", "classic", "--fail-fast"]
+    )
+    assert code == 1
+    assert "fail-fast" in capsys.readouterr().out
+
+
+def test_replay_subcommand_round_trips(tmp_path, capsys):
+    config = CampaignConfig(
+        mode="classic", kinds=("MisconfiguredJvm",), windows=((0.0, None),)
+    )
+    (cell,) = enumerate_cells(config)
+    spec = minimize_cell(cell, config)
+    path = tmp_path / "reproducer.json"
+    path.write_text(json.dumps(spec))
+    assert campaign_main(["--replay", str(path)]) == 0
+    assert "reproduced" in capsys.readouterr().out
+
+
+def test_bad_jobs_rejected():
+    with pytest.raises(SystemExit):
+        campaign_main(["--jobs", "0"])
+
+
+def test_bad_order_rejected():
+    with pytest.raises(SystemExit):
+        campaign_main(["--order", "0"])

@@ -1,0 +1,112 @@
+"""The acceptance surface of the fault-campaign engine.
+
+The headline claims, straight from the issue: a full single-fault
+campaign over the catalogue reports **zero** P1-P4 violations in
+``scoped`` mode; the same campaign in ``classic`` (naive) mode detects
+the Figure 4 implicit-error collapse as at least one P1 violation; and
+every reported violation ships with a shrunken reproducer spec that
+actually reproduces it on replay.
+"""
+
+import pytest
+
+from repro.campaign.engine import run_campaign, run_cell_record
+from repro.campaign.shrink import replay
+from repro.campaign.spec import CATALOGUE, CampaignConfig, enumerate_cells
+from repro.condor.daemons.config import CondorConfig
+
+
+def _campaign(mode: str, **overrides) -> dict:
+    return run_campaign(CampaignConfig(mode=mode, **overrides), jobs=1)
+
+
+class TestScopedCampaignIsClean:
+    def test_full_single_fault_catalogue_zero_violations(self):
+        report = _campaign("scoped")
+        assert report["totals"]["cells"] >= len(CATALOGUE)
+        assert report["totals"]["violations"] == 0
+        assert report["totals"]["by_principle"] == {
+            "P1": 0, "P2": 0, "P3": 0, "P4": 0,
+        }
+        for record in report["cells"]:
+            assert record["violations"] == []
+            assert record["live_matches_posthoc"]
+            assert record["reproducer"] is None
+
+    def test_every_catalogue_kind_is_swept(self):
+        report = _campaign("scoped")
+        swept = {
+            injection["kind"]
+            for record in report["cells"]
+            for injection in record["injections"]
+        }
+        assert swept == {info.kind for info in CATALOGUE}
+
+
+class TestClassicCampaignDetectsTheCollapse:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return _campaign("classic")
+
+    def test_detects_p1_exit_code_masking(self, report):
+        """Figure 4: the bare JVM collapses environmental errors into exit
+        code 1, presented to the user as a program result -- P1."""
+        assert report["totals"]["by_principle"]["P1"] >= 1
+
+    def test_live_sanitizer_agrees_everywhere(self, report):
+        assert report["totals"]["live_mismatches"] == 0
+
+    def test_every_violating_cell_has_a_reproducer_that_reproduces(self, report):
+        violating = [r for r in report["cells"] if r["violations"]]
+        assert violating, "classic campaign found no violating cells"
+        for record in violating:
+            spec = record["reproducer"]
+            assert spec is not None
+            assert spec["expect"], f"{record['cell']}: empty expectation"
+            outcome = replay(spec)
+            assert outcome["reproduced"], f"{record['cell']}: replay diverged"
+
+    def test_reproducers_are_minimal_single_fault(self, report):
+        """Single-fault cells shrink to themselves: exactly one injection."""
+        for record in report["cells"]:
+            if record["reproducer"] is not None:
+                assert len(record["reproducer"]["injections"]) == 1
+
+
+class TestClassicModeAlias:
+    def test_condor_config_normalizes_classic_to_naive(self):
+        assert CondorConfig(error_mode="classic").error_mode == "naive"
+
+    def test_unknown_mode_still_rejected(self):
+        with pytest.raises(ValueError):
+            CondorConfig(error_mode="sloppy")
+
+    def test_classic_cells_equal_naive_cells(self):
+        config_c = CampaignConfig(mode="classic", kinds=("MisconfiguredJvm",),
+                                  windows=((0.0, None),))
+        config_n = CampaignConfig(mode="naive", kinds=("MisconfiguredJvm",),
+                                  windows=((0.0, None),))
+        (cell_c,) = enumerate_cells(config_c)
+        (cell_n,) = enumerate_cells(config_n)
+        record_c = run_cell_record(cell_c, config_c)
+        record_n = run_cell_record(cell_n, config_n)
+        assert record_c["violations"] == record_n["violations"]
+        assert record_c["jobs"] == record_n["jobs"]
+
+
+@pytest.mark.slow
+class TestFullMatrixSlow:
+    """The multi-fault sweep: order-2 combinations across the catalogue.
+    Deselected from tier-1 (see pyproject addopts); run with ``-m slow``."""
+
+    def test_order2_scoped_campaign_stays_clean(self):
+        report = _campaign("scoped", max_order=2)
+        assert report["totals"]["cells"] > len(CATALOGUE)
+        assert report["totals"]["violations"] == 0
+
+    def test_order2_classic_reproducers_replay(self):
+        report = _campaign("classic", max_order=2)
+        violating = [r for r in report["cells"] if r["violations"]]
+        assert violating
+        for record in violating:
+            assert replay(record["reproducer"])["reproduced"]

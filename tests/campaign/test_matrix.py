@@ -1,0 +1,109 @@
+"""The cell matrix: enumeration, targeting, windows, and spec round-trips."""
+
+import pytest
+
+from repro.campaign.spec import (
+    CATALOGUE,
+    CampaignConfig,
+    CellSpec,
+    FaultSpec,
+    build_fault,
+    enumerate_cells,
+)
+
+
+class TestEnumeration:
+    def test_singles_cover_kind_x_window_minus_undisarmable(self):
+        config = CampaignConfig()
+        cells = enumerate_cells(config)
+        disarmable = sum(1 for info in CATALOGUE if info.disarmable)
+        fixed = len(CATALOGUE) - disarmable
+        expected = disarmable * len(config.windows) + fixed
+        assert len(cells) == expected
+        assert all(len(cell.injections) == 1 for cell in cells)
+
+    def test_undisarmable_kinds_get_no_bounded_window(self):
+        for cell in enumerate_cells(CampaignConfig()):
+            (spec,) = cell.injections
+            info = next(i for i in CATALOGUE if i.kind == spec.kind)
+            if not info.disarmable:
+                assert spec.until is None
+
+    def test_cell_ids_are_unique_and_prefixed(self):
+        config = CampaignConfig(mode="scoped", seed=7)
+        cells = enumerate_cells(config)
+        ids = [cell.cell_id for cell in cells]
+        assert len(set(ids)) == len(ids)
+        assert all(cell_id.startswith("scoped/s7/") for cell_id in ids)
+
+    def test_order2_adds_distinct_kind_pairs(self):
+        config = CampaignConfig(max_order=2)
+        singles = [c for c in enumerate_cells(config) if len(c.injections) == 1]
+        combos = [c for c in enumerate_cells(config) if len(c.injections) == 2]
+        n_kinds = len(CATALOGUE)
+        assert len(combos) == n_kinds * (n_kinds - 1) // 2
+        assert len(singles) + len(combos) == len(enumerate_cells(config))
+        for cell in combos:
+            kinds = [spec.kind for spec in cell.injections]
+            assert len(set(kinds)) == 2
+
+    def test_more_sites_multiply_site_fault_cells(self):
+        narrow = enumerate_cells(CampaignConfig(sites=("exec000",)))
+        wide = enumerate_cells(CampaignConfig(sites=("exec000", "exec001")))
+        assert len(wide) > len(narrow)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            enumerate_cells(CampaignConfig(kinds=("NoSuchFault",)))
+
+
+class TestSpecs:
+    def test_fault_spec_round_trips_through_dict(self):
+        for spec in (
+            FaultSpec("MisconfiguredJvm", site="exec000"),
+            FaultSpec("CorruptProgramImage", job_index=2, at=5.0, until=10.0),
+            FaultSpec("HomeFilesystemOffline", at=90.0, until=None),
+        ):
+            assert FaultSpec.from_dict(spec.as_dict()) == spec
+
+    def test_cell_specs_are_hashable_and_picklable(self):
+        import pickle
+
+        cells = enumerate_cells(CampaignConfig(max_order=2))
+        assert len({hash(cell) for cell in cells}) > 1
+        assert pickle.loads(pickle.dumps(cells)) == cells
+
+    def test_with_injections_relabels(self):
+        cell = CellSpec(
+            "scoped/s0/x", "scoped", 0,
+            (FaultSpec("MisconfiguredJvm", site="exec000"),
+             FaultSpec("HomeDiskFull")),
+        )
+        shrunk = cell.with_injections(cell.injections[:1])
+        assert shrunk.injections == cell.injections[:1]
+        assert "MisconfiguredJvm" in shrunk.cell_id
+        assert "HomeDiskFull" not in shrunk.cell_id
+
+    def test_build_fault_covers_the_whole_catalogue(self):
+        from repro.condor import Pool, PoolConfig
+        from repro.harness.workloads import WorkloadSpec, make_workload
+        from repro.sim.rng import RngRegistry
+
+        pool = Pool(PoolConfig(n_machines=2, seed=0))
+        jobs = make_workload(
+            WorkloadSpec(n_jobs=2, io_fraction=0.0, exception_fraction=0.0,
+                         exit_code_fraction=0.0),
+            RngRegistry(0).stream("t"), home_fs=pool.home_fs,
+        )
+        for info in CATALOGUE:
+            spec = FaultSpec(
+                info.kind,
+                site="exec000" if info.target == "site" else None,
+                job_index=0 if info.target == "job" else None,
+            )
+            fault = build_fault(spec, pool, jobs)
+            assert type(fault).__name__ == info.kind
+
+    def test_build_fault_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            build_fault(FaultSpec("NoSuchFault"), None, [])

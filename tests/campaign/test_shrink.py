@@ -1,0 +1,90 @@
+"""Delta debugging and reproducer replay."""
+
+import json
+
+import pytest
+
+from repro.campaign.shrink import ddmin, minimize_cell, replay
+from repro.campaign.spec import CampaignConfig, CellSpec, FaultSpec, enumerate_cells
+
+
+class TestDdmin:
+    def test_single_culprit_is_isolated(self):
+        items = tuple(range(8))
+        assert ddmin(items, lambda s: 5 in s) == (5,)
+
+    def test_pair_of_culprits_is_isolated(self):
+        items = tuple(range(8))
+        result = ddmin(items, lambda s: 2 in s and 6 in s)
+        assert sorted(result) == [2, 6]
+
+    def test_result_is_one_minimal(self):
+        items = tuple(range(10))
+        culprits = {1, 4, 7}
+        result = ddmin(items, lambda s: culprits <= set(s))
+        assert set(result) == culprits
+        for drop in result:
+            remaining = tuple(x for x in result if x != drop)
+            assert not culprits <= set(remaining)
+
+    def test_everything_essential_returns_everything(self):
+        items = (1, 2, 3)
+        assert ddmin(items, lambda s: len(s) == 3) == items
+
+    def test_precondition_enforced(self):
+        with pytest.raises(ValueError, match="precondition"):
+            ddmin((1, 2), lambda s: False)
+
+    def test_call_count_stays_polynomial(self):
+        calls = 0
+
+        def fails(subset):
+            nonlocal calls
+            calls += 1
+            return 13 in subset
+
+        ddmin(tuple(range(32)), fails)
+        assert calls < 200  # ddmin is O(n^2) worst case; way under here
+
+
+class TestMinimizeCell:
+    def test_multi_fault_cell_shrinks_to_the_culprit(self):
+        """MisconfiguredJvm drives the classic P1; HomeDiskFull is an
+        innocent bystander (FILE scope, within contract) that must be
+        shrunk away."""
+        config = CampaignConfig(mode="classic", windows=((0.0, None),))
+        cell = CellSpec(
+            "classic/s0/pair", "classic", 0,
+            (FaultSpec("MisconfiguredJvm", site="exec000"),
+             FaultSpec("HomeDiskFull")),
+        )
+        spec = minimize_cell(cell, config)
+        assert [inj["kind"] for inj in spec["injections"]] == ["MisconfiguredJvm"]
+        assert spec["expect"]
+        assert replay(spec)["reproduced"]
+
+    def test_reproducer_spec_round_trips_through_json(self, tmp_path):
+        config = CampaignConfig(
+            mode="classic", kinds=("MisconfiguredJvm",), windows=((0.0, None),)
+        )
+        (cell,) = enumerate_cells(config)
+        spec = minimize_cell(cell, config)
+        path = tmp_path / "reproducer.json"
+        path.write_text(json.dumps(spec))
+        outcome = replay(str(path))
+        assert outcome["reproduced"]
+        assert outcome["violations"] == spec["expect"]
+
+    def test_replay_detects_divergence(self):
+        """A tampered expectation must not be reported as reproduced."""
+        config = CampaignConfig(
+            mode="classic", kinds=("MisconfiguredJvm",), windows=((0.0, None),)
+        )
+        (cell,) = enumerate_cells(config)
+        spec = minimize_cell(cell, config)
+        spec["expect"][0]["subject"] = "9.9"
+        assert not replay(spec)["reproduced"]
+
+    def test_replay_rejects_foreign_documents(self):
+        with pytest.raises(ValueError, match="not a campaign reproducer"):
+            replay({"format": "something-else"})

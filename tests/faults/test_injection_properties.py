@@ -1,0 +1,118 @@
+"""Property-based pinning of ``Injection.active_during`` boundary semantics.
+
+The decided semantics (see the ``Injection`` docstring): the injection
+window is the **closed** interval ``[at, until]`` (``[at, inf)`` when
+open-ended), an attempt occupies the closed interval ``[start, end]``,
+and the injection is active iff the intervals intersect.  Closed-closed
+is deliberate: at a shared boundary instant the arm/disarm callback and
+the attempt event carry the same timestamp, so the attempt *may* have
+observed the armed fault, and ground truth must err toward blaming the
+fault rather than the program.
+
+The cases the old half-open test (``start < hi and end > lo``) silently
+dropped -- zero-length attempts, instantaneous faults, and exact
+boundary hits -- are each pinned here, by property and by example.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.faults.faults import Fault
+from repro.faults.injector import Injection
+
+TIMES = st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def intervals(draw):
+    a, b = sorted((draw(TIMES), draw(TIMES)))
+    return a, b
+
+
+def injection(at: float, until: float | None) -> Injection:
+    return Injection(Fault(), at=at, until=until)
+
+
+def model(at: float, until: float | None, start: float, end: float) -> bool:
+    """Closed-interval intersection, the reference semantics."""
+    hi = float("inf") if until is None else until
+    return end >= at and start <= hi
+
+
+class TestClosedIntervalModel:
+    @given(window=intervals(), attempt=intervals())
+    def test_bounded_window_matches_model(self, window, attempt):
+        at, until = window
+        start, end = attempt
+        assert injection(at, until).active_during(
+            None, "1.0", start, end
+        ) == model(at, until, start, end)
+
+    @given(at=TIMES, attempt=intervals())
+    def test_open_ended_window_matches_model(self, at, attempt):
+        start, end = attempt
+        assert injection(at, None).active_during(
+            None, "1.0", start, end
+        ) == model(at, None, start, end)
+
+
+class TestPinnedBoundaries:
+    @given(window=intervals(), t=TIMES)
+    def test_zero_length_attempt_counts_iff_inside_window(self, window, t):
+        """start == end: active exactly when the instant is in the window."""
+        at, until = window
+        assert injection(at, until).active_during(
+            None, "1.0", t, t
+        ) == (at <= t <= until)
+
+    @given(at=TIMES, attempt=intervals())
+    def test_instantaneous_fault_counts_iff_attempt_contains_it(self, at, attempt):
+        """at == until: an empty-by-half-open window still blames attempts
+        spanning the arm instant (arm runs before disarm at the same time)."""
+        start, end = attempt
+        assert injection(at, at).active_during(
+            None, "1.0", start, end
+        ) == (start <= at <= end)
+
+    def test_boundary_table(self):
+        """The exact cases the old ``start < hi and end > lo`` test dropped."""
+        window = injection(100.0, 200.0)
+        # Attempt ending exactly at the arm instant: now counts.
+        assert window.active_during(None, "1.0", 50.0, 100.0)
+        # Attempt starting exactly at the disarm instant: now counts.
+        assert window.active_during(None, "1.0", 200.0, 250.0)
+        # Strictly outside on either side: still inactive.
+        assert not window.active_during(None, "1.0", 0.0, 99.9)
+        assert not window.active_during(None, "1.0", 200.1, 300.0)
+        # Zero-length attempt at each boundary and in the middle.
+        assert window.active_during(None, "1.0", 100.0, 100.0)
+        assert window.active_during(None, "1.0", 150.0, 150.0)
+        assert window.active_during(None, "1.0", 200.0, 200.0)
+        assert not window.active_during(None, "1.0", 99.0, 99.0)
+        # Instantaneous fault: active only for attempts containing it.
+        instant = injection(100.0, 100.0)
+        assert instant.active_during(None, "1.0", 90.0, 110.0)
+        assert instant.active_during(None, "1.0", 100.0, 100.0)
+        assert not instant.active_during(None, "1.0", 100.5, 110.0)
+        # Open-ended window: active from the arm instant forever.
+        forever = injection(100.0, None)
+        assert forever.active_during(None, "1.0", 100.0, 100.0)
+        assert forever.active_during(None, "1.0", 1e9, 2e9)
+        assert not forever.active_during(None, "1.0", 0.0, 99.0)
+
+
+class TestTargetFilters:
+    @given(attempt=intervals())
+    def test_site_fault_only_blames_its_site(self, attempt):
+        start, end = attempt
+        inj = Injection(Fault(site="exec000"), at=0.0, until=None)
+        assert not inj.active_during("exec001", "1.0", start, end)
+        assert inj.active_during("exec000", "1.0", start, end) == (end >= 0.0)
+
+    @given(attempt=intervals())
+    def test_job_fault_only_blames_its_job(self, attempt):
+        start, end = attempt
+        inj = Injection(Fault(job_id="1.0"), at=0.0, until=None)
+        assert not inj.active_during("exec000", "1.1", start, end)
+        assert inj.active_during("exec000", "1.0", start, end) == (end >= 0.0)

@@ -8,9 +8,11 @@ event-for-event to an instrumented run.
 
 import filecmp
 
+from repro.campaign.engine import run_campaign
+from repro.campaign.spec import CampaignConfig
 from repro.condor.pool import Pool, PoolConfig
 from repro.harness.workloads import WorkloadSpec, make_workload
-from repro.obs.export import ObservationSession, render_metrics, render_trace
+from repro.obs.export import ObservationSession, dump_json, render_metrics, render_trace
 from repro.sim.rng import RngRegistry
 
 
@@ -91,3 +93,27 @@ class TestZeroCost:
         _observed_run(seed=0)
         pool = Pool(PoolConfig(n_machines=1, seed=0))
         assert not pool.bus.active
+
+
+class TestCampaignDeterminism:
+    """The campaign layer inherits the byte-identity contract: every cell
+    is self-seeding and the ParallelRunner merge preserves matrix order,
+    so fanning cells out over worker processes must not change a byte of
+    the JSON report."""
+
+    CONFIG = CampaignConfig(
+        mode="classic",
+        kinds=("MisconfiguredJvm", "CredentialExpiry", "CorruptProgramImage"),
+        windows=((0.0, None),),
+    )
+
+    def test_parallel_report_is_byte_identical_to_serial(self, tmp_path):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        dump_json(str(serial), run_campaign(self.CONFIG, jobs=1))
+        dump_json(str(parallel), run_campaign(self.CONFIG, jobs=4))
+        assert serial.stat().st_size > 0
+        assert filecmp.cmp(serial, parallel, shallow=False)
+
+    def test_same_seed_reports_are_equal_in_process(self):
+        assert run_campaign(self.CONFIG, jobs=1) == run_campaign(self.CONFIG, jobs=1)

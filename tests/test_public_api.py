@@ -11,6 +11,12 @@ PUBLIC_MODULES = [
     "repro",
     "repro.analysis",
     "repro.analysis.journeys",
+    "repro.campaign",
+    "repro.campaign.cli",
+    "repro.campaign.engine",
+    "repro.campaign.report",
+    "repro.campaign.shrink",
+    "repro.campaign.spec",
     "repro.chirp",
     "repro.chirp.auth",
     "repro.chirp.client",
@@ -67,6 +73,7 @@ PUBLIC_MODULES = [
     "repro.obs.console",
     "repro.obs.export",
     "repro.obs.metrics",
+    "repro.obs.sanitize",
     "repro.obs.span",
     "repro.pvm",
     "repro.pvm.program",
