@@ -8,6 +8,7 @@ Examples::
     python -m repro.harness campaign --kinds MisconfiguredJvm,CredentialExpiry
     python -m repro.harness campaign --order 2 --mode classic
     python -m repro.harness campaign --fail-fast --mode scoped
+    python -m repro.harness campaign --profile --kinds MachineCrash
     python -m repro.harness campaign --replay reproducer.json
 
 ``--json`` writes the canonical campaign report (wall clock never enters
@@ -22,7 +23,7 @@ import argparse
 import time
 
 from repro.campaign.engine import run_campaign
-from repro.campaign.report import render_summary
+from repro.campaign.report import render_cell_profiles, render_summary
 from repro.campaign.shrink import replay
 from repro.campaign.spec import CATALOGUE, CampaignConfig
 from repro.harness.parallel import WorkerFailure
@@ -51,6 +52,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="list the fault catalogue and exit")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the campaign report as canonical JSON")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach the sim-time profiler to every cell and "
+                             "render per-cell 'where time went' summaries")
     parser.add_argument("--fail-fast", action="store_true",
                         help="raise on the first live violation (debugging)")
     parser.add_argument("--no-shrink", action="store_true",
@@ -91,7 +95,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     started = time.perf_counter()
     try:
-        report = run_campaign(config, jobs=args.jobs, shrink=not args.no_shrink)
+        report = run_campaign(
+            config,
+            jobs=args.jobs,
+            shrink=not args.no_shrink,
+            profile=args.profile,
+        )
     except WorkerFailure as exc:
         if args.fail_fast and "PrincipleViolationError" in str(exc):
             # The runner wraps the cell's fail-fast raise; the message
@@ -106,6 +115,11 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     summary = render_summary(report)
     print(summary)
+    if args.profile:
+        profiles = render_cell_profiles(report)
+        if profiles:
+            print()
+            print(profiles)
     print(f"wall clock {time.perf_counter() - started:.3f}s")
     if args.json:
         dump_json(args.json, report)

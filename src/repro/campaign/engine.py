@@ -32,12 +32,16 @@ from repro.faults import FaultInjector
 from repro.harness.parallel import ParallelRunner
 from repro.harness.workloads import WorkloadSpec, make_workload
 from repro.jvm.program import Step
+from repro.obs.profile import SimTimeProfiler
 from repro.obs.sanitize import PrincipleSanitizer
 from repro.sim.rng import RngRegistry
 
 __all__ = ["run_campaign", "run_cell_record"]
 
 MB = 2**20
+
+#: Attribution triples kept per cell record when profiling is on.
+PROFILE_TOP_N = 8
 
 
 def _violation_dict(violation: Violation) -> dict:
@@ -52,12 +56,15 @@ def _violation_key(record: dict) -> tuple:
     return (record["principle"], record["subject"], record["description"])
 
 
-def run_cell_record(cell: CellSpec, config: CampaignConfig) -> dict:
+def run_cell_record(cell: CellSpec, config: CampaignConfig, profile: bool = False) -> dict:
     """Run one cell; return its JSON-ready record.
 
     Deterministic in (cell, config) alone: the pool, workload and
     arrival process all derive from the cell's seed, so the record is
     identical whether the cell runs in this process or in a worker.
+    With *profile*, a :class:`~repro.obs.profile.SimTimeProfiler` rides
+    the pool's bus and the record gains a ``profile`` section -- pure
+    sim-time attribution, so it stays inside the determinism contract.
     """
     registry: list = []
     condor = CondorConfig(
@@ -81,6 +88,7 @@ def run_cell_record(cell: CellSpec, config: CampaignConfig) -> dict:
             job.image.program.steps.insert(0, Step.allocate(16 * MB))
 
     injector = FaultInjector(pool)
+    profiler = SimTimeProfiler(pool.bus) if profile else None
     sanitizer = PrincipleSanitizer(
         pool.bus, injector=injector, jobs=jobs, fail_fast=config.fail_fast
     )
@@ -95,6 +103,8 @@ def run_cell_record(cell: CellSpec, config: CampaignConfig) -> dict:
 
     pool.run_until_done(max_time=config.max_time, expected_jobs=len(jobs))
     sanitizer.detach()
+    if profiler is not None:
+        profiler.detach()
     if sanitizer.failure is not None:
         # A fail-fast raise inside a daemon process is absorbed as that
         # process's death; surface it here so --fail-fast always stops
@@ -110,6 +120,14 @@ def run_cell_record(cell: CellSpec, config: CampaignConfig) -> dict:
     live = [_violation_dict(v) for v in sanitizer.violations]
     completed = sum(1 for j in jobs if j.state is JobState.COMPLETED)
     held = sum(1 for j in jobs if j.state is JobState.HELD)
+    cell_profile = None
+    if profiler is not None:
+        snapshot = profiler.snapshot()
+        cell_profile = {
+            "events": snapshot["events"],
+            "sim_time": snapshot["sim_time"],
+            "top": snapshot["triples"][:PROFILE_TOP_N],
+        }
     return {
         "cell": cell.cell_id,
         "mode": cell.mode,
@@ -127,6 +145,7 @@ def run_cell_record(cell: CellSpec, config: CampaignConfig) -> dict:
         "live_matches_posthoc": (
             sorted(map(_violation_key, posthoc)) == sorted(map(_violation_key, live))
         ),
+        "profile": cell_profile,
     }
 
 
@@ -135,6 +154,7 @@ def run_campaign(
     cells: tuple[CellSpec, ...] | None = None,
     jobs: int = 1,
     shrink: bool = True,
+    profile: bool = False,
 ) -> dict:
     """Run the whole matrix; return the JSON-ready campaign report.
 
@@ -142,14 +162,18 @@ def run_campaign(
     preserves matrix order, and every cell is self-seeding, so the
     report is byte-identical to a serial run.  With *shrink*, each
     violating cell gains a ``reproducer`` spec minimized by delta
-    debugging (in the parent, after the fan-out).
+    debugging (in the parent, after the fan-out).  With *profile*,
+    every cell record carries a sim-time attribution section
+    (deterministic, so it survives the byte-identity guarantee even
+    across ``--jobs`` fan-out).
     """
     from repro.campaign.shrink import minimize_cell
 
     if cells is None:
         cells = enumerate_cells(config)
     runner = ParallelRunner(
-        functools.partial(run_cell_record, config=config), workers=jobs
+        functools.partial(run_cell_record, config=config, profile=profile),
+        workers=jobs,
     )
     records = [outcome.value for outcome in runner.map(list(cells))]
     for cell, record in zip(cells, records):

@@ -3,14 +3,17 @@
 The JSON report (:func:`repro.campaign.engine.run_campaign`'s return
 value) is the artifact; this module is only its human-readable face --
 one row per cell, violation counts per principle, the live/post-hoc
-cross-check, and whether a reproducer was minimized.
+cross-check, and whether a reproducer was minimized.  When the campaign
+ran with ``--profile``, each cell record carries a sim-time attribution
+section and :func:`render_cell_profiles` turns it into per-cell
+"where time went" tables.
 """
 
 from __future__ import annotations
 
 from repro.harness.report import Table
 
-__all__ = ["render_summary"]
+__all__ = ["render_cell_profiles", "render_summary"]
 
 
 def _principle_counts(violations: list[dict]) -> dict[int, int]:
@@ -58,3 +61,33 @@ def render_summary(report: dict) -> str:
             f"post-hoc verdicts disagree"
         )
     return table.render()
+
+
+def render_cell_profiles(report: dict, top: int = 5) -> str:
+    """Per-cell "where time went" tables for a ``--profile`` campaign.
+
+    Cells without a profile section (campaign ran unprofiled) render
+    nothing; the empty string keeps callers composable.
+    """
+    blocks: list[str] = []
+    for record in report["cells"]:
+        profile = record.get("profile")
+        if not profile:
+            continue
+        table = Table(
+            ["daemon", "phase", "scope", "sim time (s)", "events"],
+            title=f"where time went: {record['cell']}",
+        )
+        for triple in profile["top"][:top]:
+            table.add_row([
+                triple["daemon"],
+                triple["phase"],
+                triple["scope"],
+                f"{triple['sim_time']:.3f}",
+                triple["events"],
+            ])
+        table.add_footer(
+            f"total {profile['sim_time']:.3f}s over {profile['events']} events"
+        )
+        blocks.append(table.render())
+    return "\n\n".join(blocks)

@@ -17,6 +17,8 @@ I/O RPC channel.  Its error translation embodies the theory:
 
 from __future__ import annotations
 
+from time import perf_counter_ns
+
 from repro.chirp.protocol import ChirpCode, ChirpReply, ChirpRequest
 from repro.condor.protocols import WireSize
 from repro.remoteio.rpc import Credential, RpcClient, RpcRequest
@@ -30,6 +32,9 @@ from repro.sim.network import (
 )
 
 __all__ = ["ChirpProxy"]
+
+#: Wall-time hook set by ``repro.obs.profile.install_wall``.
+WALL_PROFILE = None
 
 _FS_TO_CHIRP = {
     "ENOENT": ChirpCode.NOT_FOUND,
@@ -112,26 +117,54 @@ class ChirpProxy:
         return reply
 
     def _forward(self, request: ChirpRequest):
-        """Generator: the authenticate/forward/translate body."""
-        if request.secret != self.secret:
-            return ChirpReply(ChirpCode.AUTH_FAILED)
-        if request.op not in ("read", "write", "stat"):
-            return ChirpReply(ChirpCode.INVALID_REQUEST)
-        op = {"read": "read_file", "write": "write_file", "stat": "stat"}[request.op]
-        rpc_request = RpcRequest(
-            op=op, path=request.path, data=request.data, credential=self.credential
-        )
+        """Generator: the authenticate/forward/translate body.
+
+        The synchronous ends (:meth:`_prepare`, :meth:`_translate`) are
+        the channel's real Python cost and carry the wall-time counters;
+        the middle is simulated waiting and must never be wall-timed.
+        """
+        prepared = self._prepare(request)
+        if isinstance(prepared, ChirpReply):
+            return prepared
         try:
             rpc = yield from self._shadow_rpc()
-            reply = yield from rpc.call(rpc_request)
+            reply = yield from rpc.call(prepared)
         except (ConnectionTimedOut,) :
             return ChirpReply(ChirpCode.TIMED_OUT)
         except (BrokenConnection, ConnectionRefused, HostUnreachable):
             self._rpc = None  # force a reconnect attempt next time
             return ChirpReply(ChirpCode.SERVER_DOWN)
-        if reply.ok:
-            return ChirpReply(ChirpCode.OK, data=reply.data)
-        return ChirpReply(_FS_TO_CHIRP.get(reply.error, ChirpCode.SERVER_DOWN))
+        return self._translate(reply)
+
+    def _prepare(self, request: ChirpRequest):
+        """Authenticate and translate Chirp -> RPC (an early
+        :class:`ChirpReply` rejects the request before any forwarding)."""
+        wall = WALL_PROFILE
+        t0 = perf_counter_ns() if wall is not None else 0
+        try:
+            if request.secret != self.secret:
+                return ChirpReply(ChirpCode.AUTH_FAILED)
+            if request.op not in ("read", "write", "stat"):
+                return ChirpReply(ChirpCode.INVALID_REQUEST)
+            op = {"read": "read_file", "write": "write_file", "stat": "stat"}[request.op]
+            return RpcRequest(
+                op=op, path=request.path, data=request.data, credential=self.credential
+            )
+        finally:
+            if wall is not None:
+                wall.add("chirp.prepare", perf_counter_ns() - t0)
+
+    def _translate(self, reply) -> ChirpReply:
+        """Translate the shadow's RPC reply into the job's Chirp code."""
+        wall = WALL_PROFILE
+        t0 = perf_counter_ns() if wall is not None else 0
+        try:
+            if reply.ok:
+                return ChirpReply(ChirpCode.OK, data=reply.data)
+            return ChirpReply(_FS_TO_CHIRP.get(reply.error, ChirpCode.SERVER_DOWN))
+        finally:
+            if wall is not None:
+                wall.add("chirp.translate", perf_counter_ns() - t0)
 
     def _shadow_rpc(self):
         """Generator: the (re)connected RPC client to the shadow."""

@@ -12,6 +12,7 @@ orders the compatible partners.
 
 from __future__ import annotations
 
+from time import perf_counter_ns
 from typing import Any, Iterator
 
 from repro.condor.classads.expr import (
@@ -24,6 +25,10 @@ from repro.condor.classads.expr import (
 from repro.condor.classads.parser import parse
 
 __all__ = ["ClassAd", "match", "rank", "symmetric_match"]
+
+#: Wall-time hook set by ``repro.obs.profile.install_wall`` (one global
+#: read per match when unprofiled -- the bus's inactive-emit contract).
+WALL_PROFILE = None
 
 
 class ClassAd:
@@ -106,6 +111,17 @@ def match(ad: ClassAd, target: ClassAd) -> bool:
     A missing or non-TRUE (UNDEFINED, ERROR, FALSE) Requirements rejects
     -- conservative, like the real matchmaker.
     """
+    wall = WALL_PROFILE
+    if wall is None:
+        return _match(ad, target)
+    t0 = perf_counter_ns()
+    try:
+        return _match(ad, target)
+    finally:
+        wall.add("classads.match", perf_counter_ns() - t0)
+
+
+def _match(ad: ClassAd, target: ClassAd) -> bool:
     val = ad.eval("requirements", target=target).as_bool()
     return val.type is ValueType.BOOLEAN and bool(val.payload)
 

@@ -13,6 +13,8 @@ Precedence, loosest to tightest::
 
 from __future__ import annotations
 
+from time import perf_counter_ns
+
 from repro.condor.classads.expr import (
     AttrRef,
     BinOp,
@@ -29,6 +31,9 @@ from repro.condor.classads.expr import (
 from repro.condor.classads.lexer import Token, tokenize
 
 __all__ = ["ParseError", "parse"]
+
+#: Wall-time hook set by ``repro.obs.profile.install_wall``.
+WALL_PROFILE = None
 
 _KEYWORD_LITERALS = {
     "true": Literal(V_TRUE),
@@ -166,6 +171,17 @@ def parse(source: str) -> Expr:
     Raises :class:`ParseError` (or :class:`~repro.condor.classads.lexer.LexError`)
     on malformed input.
     """
+    wall = WALL_PROFILE
+    if wall is None:
+        return _parse(source)
+    t0 = perf_counter_ns()
+    try:
+        return _parse(source)
+    finally:
+        wall.add("classads.parse", perf_counter_ns() - t0)
+
+
+def _parse(source: str) -> Expr:
     parser = _Parser(tokenize(source))
     node = parser.parse_expression()
     parser.expect("EOF")

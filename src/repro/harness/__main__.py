@@ -18,12 +18,15 @@ the output is byte-identical to a serial run apart from the wall-clock
 footers.  A crashed or hung worker surfaces as an explicit error naming
 the experiment (P1/P2), never as silently missing output.
 
-``--trace`` / ``--metrics`` attach a :class:`repro.obs.ObservationSession`
-for the run and write a JSONL event+span trace and a JSON metrics
-snapshot; ``--json`` writes the experiments' result dataclasses as JSON.
-All three exports strip wall-clock fields, so same-seed runs produce
-byte-identical files (DESIGN.md §6).  Telemetry requires in-process
-execution, so ``--trace``/``--metrics`` reject ``--jobs > 1``.
+``--trace`` / ``--metrics`` / ``--profile`` attach a
+:class:`repro.obs.ObservationSession` for the run and write a JSONL
+event+span trace, a JSON metrics snapshot, and a grid-profiler report
+(sim-time attribution, critical path, folded stacks); ``--json`` writes
+the experiments' result dataclasses as JSON.  All exports strip
+wall-clock fields, so same-seed runs produce byte-identical files
+(DESIGN.md §6).  Telemetry requires in-process execution, so the
+telemetry flags reject ``--jobs > 1`` with an error naming the exact
+conflict.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ import time
 from repro.harness import experiments as E
 from repro.harness.parallel import ParallelRunner, WorkerFailure
 from repro.obs.export import ObservationSession, dump_json, to_jsonable
+from repro.obs.profile import render_profile
 
 #: name -> (callable accepting seed kwarg?, takes_seed)
 EXPERIMENTS: dict[str, tuple] = {
@@ -125,6 +129,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="write a JSONL telemetry trace (events + spans)")
     parser.add_argument("--metrics", metavar="PATH", default=None,
                         help="write a JSON metrics snapshot")
+    parser.add_argument("--profile", metavar="PATH", default=None,
+                        help="write a grid-profiler report (sim-time "
+                             "attribution, critical path, folded stacks) "
+                             "and print a 'where time went' summary")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the experiment results as JSON")
     args = parser.parse_args(argv)
@@ -137,16 +145,39 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
-    if (args.trace or args.metrics) and args.jobs > 1:
-        parser.error("--trace/--metrics require --jobs 1 (telemetry is in-process)")
+    telemetry_flags = [
+        flag
+        for flag, value in (
+            ("--trace", args.trace),
+            ("--metrics", args.metrics),
+            ("--profile", args.profile),
+        )
+        if value
+    ]
+    if telemetry_flags and args.jobs > 1:
+        parser.error(
+            f"{'/'.join(telemetry_flags)} cannot be combined with "
+            f"--jobs {args.jobs}: telemetry is collected in-process, so "
+            f"these flags require --jobs 1 (drop "
+            f"{'/'.join(telemetry_flags)} or --jobs {args.jobs})"
+        )
     names = sorted(EXPERIMENTS) if args.experiment == ["all"] else args.experiment
-    if args.trace or args.metrics:
-        with ObservationSession(trace_path=args.trace, metrics_path=args.metrics):
+    if telemetry_flags:
+        session = ObservationSession(
+            trace_path=args.trace,
+            metrics_path=args.metrics,
+            profile_path=args.profile,
+        )
+        with session:
             records = run_experiments(names, seed=args.seed, jobs=args.jobs)
     else:
+        session = None
         records = run_experiments(names, seed=args.seed, jobs=args.jobs)
     for record in records:
         print(record["rendered"])
+        print()
+    if session is not None and session.profiling:
+        print(render_profile(session.profile_report()))
         print()
     if args.json:
         dump_json(

@@ -19,6 +19,11 @@ The subsystem has four layers, each usable alone:
 - :mod:`repro.obs.sanitize` -- the live principle sanitizer, asserting
   P1-P4 on the stream as the run executes (the campaign engine's
   in-flight counterpart to the post-hoc auditor);
+- :mod:`repro.obs.profile` -- the deterministic grid profiler:
+  sim-time attribution to (daemon, phase, scope) triples, critical-path
+  extraction over job spans, folded-stack flamegraph export, and
+  wall-time counters for the hot paths (strippable, never part of the
+  determinism contract);
 - :mod:`repro.obs.console` -- the operator dashboard.
 
 Everything is stamped with *simulated* time and excludes wall clock
@@ -36,6 +41,16 @@ from repro.obs.bus import (
 from repro.obs.console import GridConsole
 from repro.obs.export import ObservationSession, dump_json, to_jsonable
 from repro.obs.metrics import BusMetricsRecorder, MetricsRegistry
+from repro.obs.profile import (
+    SimTimeProfiler,
+    WallCounters,
+    clear_wall,
+    critical_path,
+    folded_stacks,
+    install_wall,
+    profile_report,
+    render_profile,
+)
 from repro.obs.sanitize import PrincipleSanitizer, PrincipleViolationError
 from repro.obs.span import Span, SpanBuilder
 
@@ -46,14 +61,22 @@ __all__ = [
     "ObservationSession",
     "PrincipleSanitizer",
     "PrincipleViolationError",
+    "SimTimeProfiler",
     "Span",
     "SpanBuilder",
     "TelemetryBus",
     "TelemetryEvent",
     "Topic",
+    "WallCounters",
     "ambient_bus",
     "clear_ambient",
+    "clear_wall",
+    "critical_path",
     "dump_json",
+    "folded_stacks",
     "install_ambient",
+    "install_wall",
+    "profile_report",
+    "render_profile",
     "to_jsonable",
 ]

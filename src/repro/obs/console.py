@@ -17,6 +17,8 @@ from collections import deque
 
 from repro.harness.report import Table
 from repro.obs.bus import TelemetryBus, TelemetryEvent, Topic
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SimTimeProfiler
 
 __all__ = ["GridConsole"]
 
@@ -41,11 +43,17 @@ class GridConsole:
         self.error_hops: dict[str, int] = {}
         self.last_time = 0.0
         self.recent: deque[TelemetryEvent] = deque(maxlen=keep_last)
+        #: sim-time attribution behind the "where time went" panel
+        self.profile = SimTimeProfiler(bus)
+        #: job-makespan distribution (p50/p95/p99 in the jobs panel)
+        self.registry = MetricsRegistry()
+        self._submit_times: dict[str, float] = {}
         self._unsubscribe = bus.subscribe(self.on_event)
 
     def detach(self) -> None:
         """Stop listening; accumulated state remains renderable."""
         self._unsubscribe()
+        self.profile.detach()
 
     # -- the subscriber -------------------------------------------------
     def on_event(self, event: TelemetryEvent) -> None:
@@ -59,14 +67,25 @@ class GridConsole:
             state = _JOB_STATE.get(event.name)
             if job is not None and state is not None:
                 self.job_states[job] = state
+            if job is not None:
+                if event.name == "submit":
+                    self._submit_times.setdefault(job, event.time)
+                elif event.name in ("result", "hold"):
+                    submitted = self._submit_times.pop(job, None)
+                    if submitted is not None:
+                        self.registry.histogram(
+                            "job_makespan_seconds", event.time - submitted
+                        )
         elif event.topic is Topic.ERROR:
             scope = str(event.attr("scope", "?"))
             self.error_hops[scope] = self.error_hops.get(scope, 0) + 1
 
     # -- rendering ------------------------------------------------------
     def render(self) -> str:
-        """The dashboard: traffic, job states, error hops, recent events."""
+        """The dashboard: traffic, jobs, where time went, errors, recent."""
         sections = [self._traffic_table(), self._jobs_table()]
+        if self.profile.total_events:
+            sections.append(self._time_table())
         if self.error_hops:
             sections.append(self._errors_table())
         if self.recent:
@@ -94,6 +113,34 @@ class GridConsole:
                 table.add_row([state, tally[state]])
         if not tally:
             table.add_row(["(none)", 0])
+        p50 = self.registry.histogram_percentile("job_makespan_seconds", 50)
+        if p50 is not None:
+            p95 = self.registry.histogram_percentile("job_makespan_seconds", 95)
+            p99 = self.registry.histogram_percentile("job_makespan_seconds", 99)
+            table.add_footer(
+                f"makespan p50={p50:.1f}s p95={p95:.1f}s p99={p99:.1f}s"
+            )
+        return table.render()
+
+    def _time_table(self) -> str:
+        snap = self.profile.snapshot()
+        total = snap["sim_time"] or 0.0
+        table = Table(
+            ["daemon", "phase", "scope", "events", "sim time (s)"],
+            title="where time went",
+        )
+        for row in snap["triples"][:6]:
+            table.add_row(
+                [
+                    row["daemon"],
+                    row["phase"],
+                    row["scope"],
+                    row["events"],
+                    round(row["sim_time"], 1),
+                ]
+            )
+        if total > 0:
+            table.add_footer(f"total sim time {total:.1f}s")
         return table.render()
 
     def _errors_table(self) -> str:

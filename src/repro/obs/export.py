@@ -28,6 +28,13 @@ from repro.obs.bus import (
     install_ambient,
 )
 from repro.obs.metrics import BusMetricsRecorder, MetricsRegistry
+from repro.obs.profile import (
+    SimTimeProfiler,
+    WallCounters,
+    clear_wall,
+    install_wall,
+    profile_report,
+)
 from repro.obs.span import Span, SpanBuilder
 
 __all__ = [
@@ -145,31 +152,52 @@ class ObservationSession:
     """
 
     def __init__(
-        self, trace_path: str | None = None, metrics_path: str | None = None
+        self,
+        trace_path: str | None = None,
+        metrics_path: str | None = None,
+        profile_path: str | None = None,
+        profile: bool = False,
     ):
         self.trace_path = trace_path
         self.metrics_path = metrics_path
+        self.profile_path = profile_path
+        self.profiling = profile or profile_path is not None
         self.bus = TelemetryBus()
         self.events: list[TelemetryEvent] = []
         self.spans = SpanBuilder(self.bus)
         self.recorder = BusMetricsRecorder(self.bus)
         self.registry = self.recorder.registry
+        self.profiler = SimTimeProfiler(self.bus)
+        #: wall counters exist only while profiling; they are installed
+        #: into the hot-path hooks for the session's duration and their
+        #: numbers live under a strippable "wall" key in the export.
+        self.wall: WallCounters | None = WallCounters() if self.profiling else None
         self.bus.subscribe(self.events.append)
 
     def __enter__(self) -> "ObservationSession":
         install_ambient(self.bus)
+        if self.wall is not None:
+            install_wall(self.wall)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         clear_ambient()
+        if self.wall is not None:
+            clear_wall()
         if exc_type is None:
             self.flush()
 
+    def profile_report(self) -> dict:
+        """The schema-versioned profile for the telemetry collected so far."""
+        return profile_report(self.profiler, self.spans.spans, self.wall)
+
     def flush(self) -> None:
-        """Write the trace and/or metrics files now."""
+        """Write the trace / metrics / profile files now."""
         if self.trace_path is not None:
             with open(self.trace_path, "w", encoding="utf-8", newline="\n") as fh:
                 fh.write(render_trace(self.events, self.spans.spans))
         if self.metrics_path is not None:
             with open(self.metrics_path, "w", encoding="utf-8", newline="\n") as fh:
                 fh.write(render_metrics(self.registry))
+        if self.profile_path is not None:
+            dump_json(self.profile_path, self.profile_report())

@@ -19,6 +19,7 @@ gets for free.
 from __future__ import annotations
 
 from bisect import bisect_left
+from math import ceil
 
 from repro.obs.bus import TelemetryBus, TelemetryEvent, Topic
 
@@ -45,20 +46,38 @@ def _render_key(key: _SeriesKey) -> str:
 
 
 class _Histogram:
-    """One histogram series: fixed bounds, cumulative counts."""
+    """One histogram series: fixed bounds, cumulative counts.
 
-    __slots__ = ("bounds", "counts", "count", "total")
+    Exact observations are retained (the reproduction's series are small
+    and bounded by the run), so snapshots can report **nearest-rank**
+    percentiles: ``pQQ`` is the ``ceil(QQ/100 * count)``-th smallest
+    observation -- always an actually-observed value, and deterministic
+    for a given seed.  The bench JSON and the console's jobs panel rely
+    on ``p50`` / ``p95`` / ``p99``.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "values")
 
     def __init__(self, bounds: tuple[float, ...]):
         self.bounds = bounds
         self.counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
         self.count = 0
         self.total = 0.0
+        self.values: list[float] = []
 
     def observe(self, value: float) -> None:
         self.counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.total += value
+        self.values.append(value)
+
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank percentile *q* in [0, 100]; None while empty."""
+        if not self.values:
+            return None
+        ordered = sorted(self.values)
+        rank = max(1, ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
 
     def snapshot(self) -> dict:
         buckets = {}
@@ -67,7 +86,14 @@ class _Histogram:
             cumulative += n
             buckets[f"le={bound:g}"] = cumulative
         buckets["le=+Inf"] = self.count
-        return {"count": self.count, "sum": self.total, "buckets": buckets}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "buckets": buckets,
+        }
 
 
 class MetricsRegistry:
@@ -108,6 +134,11 @@ class MetricsRegistry:
 
     def gauge_value(self, name: str, **labels) -> float | None:
         return self._gauges.get(_key(name, labels))
+
+    def histogram_percentile(self, name: str, q: float, **labels) -> float | None:
+        """Nearest-rank percentile of a histogram series (None if absent)."""
+        hist = self._histograms.get(_key(name, labels))
+        return None if hist is None else hist.percentile(q)
 
     def snapshot(self) -> dict:
         """All series, sorted by rendered key -- stable for a given seed."""

@@ -12,6 +12,8 @@ observation), while a soft-mounted outage returns an explicit
 
 from __future__ import annotations
 
+from time import perf_counter_ns
+
 from repro.condor.protocols import WireSize
 from repro.remoteio.rpc import RpcReply, RpcRequest
 from repro.sim.engine import Simulator
@@ -19,6 +21,23 @@ from repro.sim.filesystem import FsError, LocalFileSystem
 from repro.sim.network import BrokenConnection, Network
 
 __all__ = ["RemoteIoServer", "SyncFsAdapter"]
+
+#: Wall-time hook set by ``repro.obs.profile.install_wall``.  The
+#: adapter's leaf file operations are the remote-I/O channel's
+#: synchronous hot path; NFS-mounted operations wait in simulated time
+#: and are deliberately not wall-timed.
+WALL_PROFILE = None
+
+
+def _timed_fs_op(fn, *args):
+    wall = WALL_PROFILE
+    if wall is None:
+        return fn(*args)
+    t0 = perf_counter_ns()
+    try:
+        return fn(*args)
+    finally:
+        wall.add("remoteio.fs_op", perf_counter_ns() - t0)
 
 
 class SyncFsAdapter:
@@ -30,19 +49,19 @@ class SyncFsAdapter:
         self.fs = fs
 
     def read_file(self, path: str, deadline=None):
-        return self.fs.read_file(path)
+        return _timed_fs_op(self.fs.read_file, path)
         yield  # pragma: no cover - makes this a generator function
 
     def write_file(self, path: str, data: bytes, deadline=None):
-        return self.fs.write_file(path, data)
+        return _timed_fs_op(self.fs.write_file, path, data)
         yield  # pragma: no cover
 
     def stat(self, path: str, deadline=None):
-        return self.fs.stat(path)
+        return _timed_fs_op(self.fs.stat, path)
         yield  # pragma: no cover
 
     def listdir(self, path: str, deadline=None):
-        return self.fs.listdir(path)
+        return _timed_fs_op(self.fs.listdir, path)
         yield  # pragma: no cover
 
 

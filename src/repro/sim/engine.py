@@ -27,7 +27,14 @@ from __future__ import annotations
 
 import heapq
 from collections.abc import Callable, Generator
+from time import perf_counter_ns
 from typing import Any
+
+#: Wall-time profiling hook (duck-typed like ``Simulator.telemetry``:
+#: anything with ``.add(name, ns)``).  ``repro.obs.profile.install_wall``
+#: points this at its counters; the default ``None`` costs one global
+#: read per process step, so an unprofiled run pays nothing.
+WALL_PROFILE = None
 
 __all__ = [
     "AllOf",
@@ -279,6 +286,16 @@ class SimProcess(Event):
             self._step(None, ev.value)
 
     def _step(self, value: Any, exc: BaseException | None) -> None:
+        wall = WALL_PROFILE
+        if wall is None:
+            return self._advance(value, exc)
+        t0 = perf_counter_ns()
+        try:
+            return self._advance(value, exc)
+        finally:
+            wall.add("sim.process_step", perf_counter_ns() - t0)
+
+    def _advance(self, value: Any, exc: BaseException | None) -> None:
         # Loop so that a kernel-raised SimulationError (bad yield) goes
         # back through the same send/throw handling as any other resume:
         # the generator may catch it and yield a fresh event (continue

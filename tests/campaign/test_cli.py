@@ -39,6 +39,18 @@ def test_classic_campaign_reports_violations(capsys):
     assert "violation" in out
 
 
+def test_profile_flag_renders_per_cell_time_tables(capsys):
+    assert campaign_main(FAST + ["--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "where time went:" in out
+    assert "total " in out and "events" in out
+
+
+def test_unprofiled_campaign_prints_no_time_tables(capsys):
+    assert campaign_main(FAST) == 0
+    assert "where time went" not in capsys.readouterr().out
+
+
 def test_json_report_is_written_and_canonical(tmp_path, capsys):
     path = tmp_path / "report.json"
     assert campaign_main(FAST + ["--json", str(path)]) == 0

@@ -95,6 +95,36 @@ class TestClassicModeAlias:
 
 
 @pytest.mark.slow
+class TestCampaignProfile:
+    CONFIG = CampaignConfig(mode="scoped", kinds=("MachineCrash",))
+
+    def test_unprofiled_cells_carry_no_profile(self):
+        report = run_campaign(self.CONFIG, jobs=1)
+        assert all(r["profile"] is None for r in report["cells"])
+
+    def test_profiled_cells_carry_attribution(self):
+        report = run_campaign(self.CONFIG, jobs=1, profile=True)
+        for record in report["cells"]:
+            profile = record["profile"]
+            assert profile["events"] > 0 and profile["sim_time"] > 0
+            assert profile["top"]
+            assert {"daemon", "phase", "scope", "events", "sim_time"} == set(
+                profile["top"][0]
+            )
+
+    def test_profile_is_deterministic_across_fanout(self):
+        serial = run_campaign(self.CONFIG, jobs=1, profile=True)
+        parallel = run_campaign(self.CONFIG, jobs=2, profile=True)
+        assert serial == parallel
+
+    def test_profiling_does_not_change_the_verdicts(self):
+        bare = run_campaign(self.CONFIG, jobs=1)
+        profiled = run_campaign(self.CONFIG, jobs=1, profile=True)
+        for record in profiled["cells"]:
+            record["profile"] = None
+        assert bare == profiled
+
+
 class TestFullMatrixSlow:
     """The multi-fault sweep: order-2 combinations across the catalogue.
     Deselected from tier-1 (see pyproject addopts); run with ``-m slow``."""

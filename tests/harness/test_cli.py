@@ -66,3 +66,71 @@ def test_main_jobs_must_be_positive():
 def test_unknown_experiment_among_several_exits():
     with pytest.raises(SystemExit):
         main(["fig4", "nonsense"])
+
+
+class TestTelemetryJobsConflict:
+    """--trace/--metrics/--profile vs --jobs > 1 must fail early with an
+    error naming exactly the flags in conflict (the old message blamed
+    --trace/--metrics wholesale, even for a --profile-only invocation)."""
+
+    def _error_text(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2  # argparse usage error, pre-run
+        # The last stderr line is the error itself (the preceding usage
+        # block mentions every flag, conflicting or not).
+        return capsys.readouterr().err.strip().splitlines()[-1]
+
+    def test_trace_conflict_names_both_flags(self, capsys, tmp_path):
+        err = self._error_text(
+            capsys, ["fig4", "--trace", str(tmp_path / "t.jsonl"), "--jobs", "3"]
+        )
+        assert "--trace" in err
+        assert "--jobs 3" in err
+        assert "--metrics" not in err and "--profile" not in err
+
+    def test_profile_conflict_names_profile(self, capsys, tmp_path):
+        err = self._error_text(
+            capsys, ["fig4", "--profile", str(tmp_path / "p.json"), "--jobs", "2"]
+        )
+        assert "--profile" in err and "--jobs 2" in err
+        assert "--trace" not in err
+
+    def test_all_three_flags_listed_together(self, capsys, tmp_path):
+        err = self._error_text(
+            capsys,
+            ["fig4", "--trace", str(tmp_path / "t"), "--metrics",
+             str(tmp_path / "m"), "--profile", str(tmp_path / "p"),
+             "--jobs", "2"],
+        )
+        assert "--trace/--metrics/--profile" in err
+
+    def test_telemetry_with_jobs_one_is_fine(self, capsys, tmp_path):
+        assert main(["time_scope", "--profile", str(tmp_path / "p.json"),
+                     "--jobs", "1"]) == 0
+
+
+class TestProfileFlag:
+    def test_profile_writes_report_and_prints_panel(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "profile.json"
+        assert main(["fig3", "--profile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "where time went" in out
+        assert "critical path" in out
+        report = json.loads(path.read_text())
+        assert report["schema"] == "repro-profile/1"
+        assert report["sim"]["events"] > 0
+
+    def test_profile_file_deterministic_after_wall_strip(self, tmp_path):
+        import json
+
+        from repro.bench.compare import strip_wall
+
+        reports = []
+        for tag in ("a", "b"):
+            path = tmp_path / f"p_{tag}.json"
+            assert main(["fig3", "--profile", str(path)]) == 0
+            reports.append(strip_wall(json.loads(path.read_text())))
+        assert reports[0] == reports[1]

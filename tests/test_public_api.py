@@ -11,6 +11,9 @@ PUBLIC_MODULES = [
     "repro",
     "repro.analysis",
     "repro.analysis.journeys",
+    "repro.bench",
+    "repro.bench.compare",
+    "repro.bench.runner",
     "repro.campaign",
     "repro.campaign.cli",
     "repro.campaign.engine",
@@ -73,6 +76,7 @@ PUBLIC_MODULES = [
     "repro.obs.console",
     "repro.obs.export",
     "repro.obs.metrics",
+    "repro.obs.profile",
     "repro.obs.sanitize",
     "repro.obs.span",
     "repro.pvm",
