@@ -13,6 +13,7 @@ arithmetic/comparison/boolean operators including the meta-equality
 """
 
 from repro.condor.classads.ad import ClassAd, match, rank, symmetric_match
+from repro.condor.classads.compile import compile_expr
 from repro.condor.classads.expr import (
     ClassAdValue,
     EvalContext,
@@ -36,6 +37,7 @@ __all__ = [
     "V_FALSE",
     "V_TRUE",
     "V_UNDEFINED",
+    "compile_expr",
     "match",
     "parse",
     "rank",

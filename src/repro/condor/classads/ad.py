@@ -15,11 +15,13 @@ from __future__ import annotations
 from time import perf_counter_ns
 from typing import Any, Iterator
 
+from repro.condor.classads.compile import CompiledExpr, compile_expr
 from repro.condor.classads.expr import (
     ClassAdValue,
     EvalContext,
     Expr,
     Literal,
+    V_UNDEFINED,
     ValueType,
 )
 from repro.condor.classads.parser import parse
@@ -41,6 +43,13 @@ class ClassAd:
 
     def __init__(self, attrs: dict[str, Any] | None = None):
         self._attrs: dict[str, Expr] = {}
+        #: name -> compiled closure, populated lazily by
+        #: :meth:`_compiled_lookup` and invalidated on every mutation.
+        self._compiled: dict[str, CompiledExpr] = {}
+        #: Slot for derived analyses (the matchmaker's requirement
+        #: constraints); cleared on *any* mutation because such analyses
+        #: may depend on the full attribute set, not just one name.
+        self._analysis: Any = None
         if attrs:
             for key, value in attrs.items():
                 self[key] = value
@@ -48,14 +57,24 @@ class ClassAd:
     # -- mapping interface --------------------------------------------------
     def __setitem__(self, name: str, value: Any) -> None:
         """Set attribute *name* to a literal Python value."""
+        lowered = name.lower()
         if isinstance(value, Expr):
-            self._attrs[name.lower()] = value
+            self._attrs[lowered] = value
         else:
-            self._attrs[name.lower()] = Literal(ClassAdValue.of(value))
+            self._attrs[lowered] = Literal(ClassAdValue.of(value))
+        self._invalidate(lowered)
 
     def set_expr(self, name: str, source: str) -> None:
         """Set attribute *name* to the parsed ClassAd expression *source*."""
-        self._attrs[name.lower()] = parse(source)
+        lowered = name.lower()
+        self._attrs[lowered] = parse(source)
+        self._invalidate(lowered)
+
+    def _invalidate(self, name: str) -> None:
+        # Compiled closures resolve cross-attribute references through
+        # the cache at call time, so only *name*'s own entry goes stale.
+        self._compiled.pop(name, None)
+        self._analysis = None
 
     def lookup(self, name: str) -> Expr | None:
         """The raw expression bound to *name*, or None."""
@@ -71,14 +90,27 @@ class ClassAd:
         return len(self._attrs)
 
     # -- evaluation -----------------------------------------------------------
+    def _compiled_lookup(self, name: str) -> CompiledExpr | None:
+        """The compiled closure for *name* (compile-once), or None.
+
+        *name* must already be lowercased (attribute references store
+        lowered names; :meth:`eval` lowers on the way in).
+        """
+        fn = self._compiled.get(name)
+        if fn is None:
+            expr = self._attrs.get(name)
+            if expr is None:
+                return None
+            fn = compile_expr(expr)
+            self._compiled[name] = fn
+        return fn
+
     def eval(self, name: str, target: "ClassAd | None" = None) -> ClassAdValue:
         """Evaluate attribute *name* against optional *target*."""
-        expr = self.lookup(name)
-        if expr is None:
-            from repro.condor.classads.expr import V_UNDEFINED
-
+        fn = self._compiled_lookup(name.lower())
+        if fn is None:
             return V_UNDEFINED
-        return expr.eval(EvalContext(my=self, target=target))
+        return fn(EvalContext(my=self, target=target))
 
     def value(self, name: str, default: Any = None, target: "ClassAd | None" = None) -> Any:
         """Evaluate *name* and return the Python payload (or *default*)."""
@@ -91,10 +123,16 @@ class ClassAd:
     def copy(self) -> "ClassAd":
         ad = ClassAd()
         ad._attrs = dict(self._attrs)
+        # Compiled closures are pure functions of the (immutable) Expr
+        # trees, so sharing them with the copy is safe.
+        ad._compiled = dict(self._compiled)
         return ad
 
     def update(self, other: "ClassAd") -> None:
         self._attrs.update(other._attrs)
+        for name in other._attrs:
+            self._compiled.pop(name, None)
+        self._analysis = None
 
     def render(self) -> str:
         """ClassAd source form, one ``name = expr;`` per line."""

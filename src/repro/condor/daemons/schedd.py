@@ -25,7 +25,7 @@ from repro.condor.daemons.config import CondorConfig
 from repro.condor.daemons.shadow import Shadow, ShadowOutcome
 from repro.condor.job import ExecutionAttempt, Job, JobState, Universe
 from repro.condor.protocols import (
-    Advertise,
+    AdvertiseBatch,
     ClaimGranted,
     MatchNotify,
     RequestClaim,
@@ -109,22 +109,28 @@ class Schedd:
             yield self.sim.timeout(self.config.advertise_interval)
 
     def _advertise_jobs(self):
-        for job in list(self.jobs.values()):
-            if job.state is not JobState.IDLE:
-                continue
-            ad = self._job_ad(job)
-            try:
-                conn = yield from self.net.connect(
-                    self.submit_host, self.matchmaker_host, 9618,
-                    timeout=self.config.claim_timeout,
-                )
-                conn.send(
-                    Advertise(kind="job", name=f"{self.submit_host}#{job.job_id}", ad=ad),
-                    size=WireSize.AD,
-                )
-                conn.close()
-            except NetworkError:
-                return  # matchmaker unreachable: retry next interval
+        batch = tuple(
+            (f"{self.submit_host}#{job.job_id}", self._job_ad(job))
+            for job in list(self.jobs.values())
+            if job.state is JobState.IDLE
+        )
+        if not batch:
+            return
+        try:
+            conn = yield from self.net.connect(
+                self.submit_host, self.matchmaker_host, 9618,
+                timeout=self.config.claim_timeout,
+            )
+            # One connection and one message for the whole idle queue:
+            # per-ad connects and receive deadlines do not scale to a
+            # 100k-job queue (tentpole c).
+            conn.send(
+                AdvertiseBatch(kind="job", ads=batch),
+                size=WireSize.AD * len(batch),
+            )
+            conn.close()
+        except NetworkError:
+            return  # matchmaker unreachable: retry next interval
 
     def _job_ad(self, job: Job) -> ClassAd:
         ad = job.to_classad()

@@ -18,7 +18,7 @@ from repro.condor.classads import ClassAd, match, rank
 from repro.condor.daemons.config import CondorConfig
 from repro.condor.daemons.starter import Starter
 from repro.condor.protocols import (
-    Advertise,
+    AdvertiseBatch,
     ClaimGranted,
     ClaimRejected,
     RequestClaim,
@@ -184,7 +184,11 @@ class Startd:
             yield self.sim.timeout(self.config.advertise_interval)
 
     def advertise(self):
-        """Generator: send every slot's current ad to the matchmaker."""
+        """Generator: send every slot's current ad to the matchmaker.
+
+        All slots ride in one :class:`AdvertiseBatch` message so the
+        matchmaker pays one receive per advertisement, not one per slot.
+        """
         if not self.machine.online:
             return
         self.ads_sent += 1
@@ -193,15 +197,14 @@ class Startd:
                 self.machine.name, self.matchmaker_host, 9618,
                 timeout=self.config.claim_timeout,
             )
-            for slot in range(self.machine.slots):
-                conn.send(
-                    Advertise(
-                        kind="machine",
-                        name=self.slot_name(slot),
-                        ad=self.build_ad(slot),
-                    ),
-                    size=WireSize.AD,
-                )
+            batch = tuple(
+                (self.slot_name(slot), self.build_ad(slot))
+                for slot in range(self.machine.slots)
+            )
+            conn.send(
+                AdvertiseBatch(kind="machine", ads=batch),
+                size=WireSize.AD * len(batch),
+            )
             conn.close()
         except NetworkError:
             return  # matchmaker unreachable; try again next interval

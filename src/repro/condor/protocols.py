@@ -24,6 +24,7 @@ from repro.condor.classads import ClassAd
 
 __all__ = [
     "Advertise",
+    "AdvertiseBatch",
     "ActivateClaim",
     "ClaimGranted",
     "ClaimRejected",
@@ -55,6 +56,21 @@ class Advertise:
     kind: str  # "machine" or "job"
     name: str  # advertising daemon's name
     ad: ClassAd
+
+
+@dataclass(frozen=True)
+class AdvertiseBatch:
+    """Several ads of one kind in a single message.
+
+    An SMP startd publishes one ad per slot and a schedd one ad per idle
+    job; batching them onto one wire message keeps the matchmaker's
+    collect loop from paying one receive deadline (and the event heap one
+    timer) per ad.  Wire size accounting charges the batch the same bytes
+    as the equivalent single ads.
+    """
+
+    kind: str  # "machine" or "job"
+    ads: tuple  # of (name, ClassAd) pairs, in advertising order
 
 
 @dataclass(frozen=True)

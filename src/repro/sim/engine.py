@@ -152,16 +152,36 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically after a simulated delay."""
+    """An event that fires automatically after a simulated delay.
 
-    __slots__ = ("delay",)
+    A timeout that lost its race (e.g. a ``recv`` deadline beaten by the
+    message) can be :meth:`cancel`-led: the heap entry stays where it is,
+    but firing becomes a no-op instead of triggering the event and
+    scheduling a callback batch.  At pool scale (one deadline per
+    received ad) this keeps the event heap from churning on dead timers.
+    """
+
+    __slots__ = ("delay", "_cancelled")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
         super().__init__(sim)
         self.delay = delay
-        sim.call_at(sim.now + delay, lambda: self.succeed(value))
+        self._cancelled = False
+        sim.call_at(sim.now + delay, lambda: self._fire(value))
+
+    def _fire(self, value: Any) -> None:
+        if not self._cancelled:
+            self.succeed(value)
+
+    def cancel(self) -> None:
+        """Neutralize the timeout; firing it later does nothing.
+
+        Cancelling an already-triggered timeout is a no-op.
+        """
+        if not self._triggered:
+            self._cancelled = True
 
 
 class _Condition(Event):

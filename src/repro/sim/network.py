@@ -169,6 +169,9 @@ class Connection:
         expiry = self.sim.timeout(timeout)
         outcome = yield self.sim.any_of([waiter, expiry])
         if waiter in outcome:
+            # The message won the race: the deadline is dead weight in
+            # the event heap; cancel it so firing is a no-op.
+            expiry.cancel()
             return outcome[waiter]
         # Timed out: detach so a late delivery is not lost to a dead waiter.
         try:

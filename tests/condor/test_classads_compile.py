@@ -1,0 +1,101 @@
+"""The compiled ClassAd path must be indistinguishable from the interpreter.
+
+``ClassAd.eval`` lowers each expression to a Python closure once and
+reuses it for every subsequent evaluation (the matchmaker evaluates one
+machine's Requirements against thousands of jobs).  These tests pin the
+contract: same value as ``Expr.eval`` for every expression and context,
+and caches that go stale the moment an ad mutates.
+"""
+
+from hypothesis import given, settings
+
+from repro.condor.classads import ClassAd, compile_expr, parse
+from repro.condor.classads.expr import ClassAdValue, EvalContext
+
+from tests.condor.test_classads_properties import expressions
+
+
+def equivalent(source: str, my: ClassAd, target: ClassAd | None) -> None:
+    expr = parse(source)
+    interpreted = expr.eval(EvalContext(my=my, target=target))
+    compiled = compile_expr(expr)(EvalContext(my=my, target=target))
+    assert compiled.type is interpreted.type
+    assert compiled.payload == interpreted.payload
+
+
+@given(expressions())
+@settings(max_examples=300, deadline=None)
+def test_compiled_equals_interpreted(source):
+    my = ClassAd({"attr_a": 1, "attr_b": 2.5})
+    target = ClassAd({"attr_c": "hello"})
+    equivalent(source, my, target)
+
+
+@given(expressions())
+@settings(max_examples=100, deadline=None)
+def test_compiled_equals_interpreted_without_target(source):
+    equivalent(source, ClassAd({"attr_a": 7}), None)
+
+
+def test_compiled_cross_ad_references():
+    """TARGET refs resolve in the referenced ad's frame, including the
+    flipped context when the target refers back to MY."""
+    job = ClassAd({"memory_needed": 64})
+    job.set_expr("requirements", "TARGET.memory >= MY.memory_needed")
+    machine = ClassAd({"memory": 128})
+    machine.set_expr("requirements", "TARGET.memory_needed <= MY.memory")
+    assert job.eval("requirements", target=machine).payload is True
+    assert machine.eval("requirements", target=job).payload is True
+
+
+def test_compiled_circular_reference_is_total():
+    ad = ClassAd()
+    ad.set_expr("a", "b")
+    ad.set_expr("b", "a")
+    value = ad.eval("a")
+    assert isinstance(value, ClassAdValue)
+    # Matches the interpreter's verdict on the same cycle.
+    assert value.type is ad.lookup("a").eval(EvalContext(my=ad)).type
+
+
+def test_setitem_invalidates_compiled_cache():
+    ad = ClassAd({"x": 1})
+    assert ad.value("x") == 1  # populates the cache
+    ad["x"] = 2
+    assert ad.value("x") == 2
+
+
+def test_set_expr_invalidates_compiled_cache():
+    ad = ClassAd({"x": 1})
+    ad.set_expr("total", "x + 1")
+    assert ad.value("total") == 2
+    ad.set_expr("total", "x + 10")
+    assert ad.value("total") == 11
+
+
+def test_cross_attr_reference_sees_mutation():
+    """Closures resolve references through the referenced attribute's own
+    cache entry at call time, so mutating a *dependency* is visible even
+    though the dependent attribute's closure is reused."""
+    ad = ClassAd({"x": 1})
+    ad.set_expr("total", "x + 1")
+    assert ad.value("total") == 2
+    ad["x"] = 5
+    assert ad.value("total") == 6
+
+
+def test_update_invalidates_merged_names():
+    ad = ClassAd({"x": 1, "y": 2})
+    assert ad.value("x") == 1 and ad.value("y") == 2
+    ad.update(ClassAd({"x": 10}))
+    assert ad.value("x") == 10
+    assert ad.value("y") == 2
+
+
+def test_copy_evaluates_independently():
+    ad = ClassAd({"x": 1})
+    assert ad.value("x") == 1
+    clone = ad.copy()
+    clone["x"] = 99
+    assert ad.value("x") == 1
+    assert clone.value("x") == 99

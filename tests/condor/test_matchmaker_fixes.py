@@ -1,0 +1,118 @@
+"""Regression tests for the matchmaker's leak and robustness fixes.
+
+Four long-standing defects, each pinned here:
+
+- a malformed ``scheddport``/``startdport`` (any non-numeric value)
+  raised ``ValueError`` out of the collect loop -- one bad ad could kill
+  the matchmaker;
+- ``_recently_matched`` grew monotonically: machines that left the pool
+  kept their last-matched stamp forever;
+- ``owner_usage`` likewise retained every owner ever seen, decayed into
+  denormal dust but never evicted;
+- the freshness check used ``>=``: a machine whose ad arrived at the
+  exact simulated instant of its previous match was wrongly treated as
+  stale and skipped.
+"""
+
+import pytest
+
+from repro.condor.classads import ClassAd
+from repro.condor.daemons.config import CondorConfig
+from repro.condor.daemons.matchmaker import USAGE_EPSILON, Matchmaker
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+from tests.condor.test_match_index import job_ad, machine_ad, make_matchmaker
+
+
+def drain(sim: Simulator, mm: Matchmaker) -> None:
+    proc = sim.spawn(mm.run_cycle(), name="test-cycle")
+    proc.defuse()
+    sim.run(until=sim.now + 60)
+
+
+class TestMalformedPorts:
+    def test_bad_scheddport_does_not_raise(self):
+        sim, mm = make_matchmaker()
+        ad = job_ad("TRUE", scheddhost="sub", scheddport="not-a-port")
+        mm.receive_ad("job", "sub#1", ad)
+        assert mm.job_ads["sub#1"].reply_port == 0
+
+    def test_bad_startdport_does_not_kill_the_cycle(self):
+        sim, mm = make_matchmaker()
+        mm.receive_ad(
+            "machine", "exec", machine_ad("exec", startdport="broken")
+        )
+        mm.receive_ad(
+            "job", "sub#1", job_ad("TRUE", scheddhost="sub", scheddport=9600)
+        )
+        drain(sim, mm)  # must not raise out of the negotiation cycle
+
+    def test_port_of_accepts_numeric_strings(self):
+        assert Matchmaker._port_of(ClassAd({"p": "9618"}), "p") == 9618
+        assert Matchmaker._port_of(ClassAd({"p": 9618}), "p") == 9618
+        assert Matchmaker._port_of(ClassAd(), "p") == 0
+
+
+class TestRecentlyMatchedPruning:
+    def test_expired_machine_drops_its_match_stamp(self):
+        sim, mm = make_matchmaker(ad_lifetime=10.0)
+        mm.receive_ad("machine", "exec", machine_ad("exec"))
+        mm._record_match(mm.machine_ads["exec"])
+        assert "exec" in mm._recently_matched
+        sim.run(until=100.0)
+        mm._expire()
+        assert "exec" not in mm.machine_ads
+        assert "exec" not in mm._recently_matched
+        assert "exec" not in mm._fresh
+        assert len(mm._index) == 0
+
+    def test_refreshed_ad_survives_expiry(self):
+        sim, mm = make_matchmaker(ad_lifetime=10.0)
+        mm.receive_ad("machine", "exec", machine_ad("exec"))
+        sim.run(until=8.0)
+        mm.receive_ad("machine", "exec", machine_ad("exec"))
+        sim.run(until=15.0)  # first ad is past the horizon, refresh is not
+        mm._expire()
+        assert "exec" in mm.machine_ads
+
+
+class TestOwnerUsageEviction:
+    def test_decayed_entries_are_evicted(self):
+        sim, mm = make_matchmaker()
+        mm.owner_usage["ghost"] = USAGE_EPSILON  # decays below the floor
+        mm.owner_usage["active"] = 8.0
+        drain(sim, mm)
+        assert "ghost" not in mm.owner_usage
+        assert mm.owner_usage["active"] == pytest.approx(4.0)
+
+    def test_usage_eventually_vanishes_entirely(self):
+        sim, mm = make_matchmaker()
+        mm.owner_usage["once"] = 1.0
+        for _ in range(40):  # 0.5**40 is far below any epsilon
+            drain(sim, mm)
+        assert mm.owner_usage == {}
+
+
+class TestFreshnessBoundary:
+    def test_ad_received_at_match_instant_is_eligible(self):
+        """Matched at t, re-advertised at exactly t: the new ad is not
+        older than the match, so the machine must remain a candidate
+        (the old ``>=`` comparison wrongly skipped it)."""
+        sim, mm = make_matchmaker()
+        mm.receive_ad("machine", "exec", machine_ad("exec"))
+        sim.run(until=5.0)
+        mm.receive_ad("machine", "exec", machine_ad("exec"))
+        mm._record_match(mm.machine_ads["exec"])  # both at t=5.0
+        probe = job_ad("TRUE")
+        assert mm._best_machine_scan(probe) is not None
+        assert mm._best_machine(probe) is not None
+
+    def test_ad_older_than_match_is_skipped(self):
+        sim, mm = make_matchmaker()
+        mm.receive_ad("machine", "exec", machine_ad("exec"))
+        sim.run(until=5.0)
+        mm._record_match(mm.machine_ads["exec"])  # ad t=0, match t=5
+        probe = job_ad("TRUE")
+        assert mm._best_machine_scan(probe) is None
+        assert mm._best_machine(probe) is None

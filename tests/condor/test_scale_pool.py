@@ -1,0 +1,28 @@
+"""Tier-1 smoke and slow full-scale runs of the pool-scale benchmark.
+
+The benchmark module owns the workload (adversarial ads included); these
+tests pin its correctness properties at two sizes:
+
+- a smoke size that runs in well under a second in tier-1, asserting the
+  indexed kernel and the reference scan negotiate identical pools;
+- the headline 10k x 100k case behind the ``slow`` marker, so the full
+  configuration stays runnable as a test (CI tracks its wall time
+  through the committed benchmark baseline instead).
+"""
+
+import pytest
+
+from benchmarks.bench_scale_pool import _run_indexed, _run_reference_scan
+
+
+def test_smoke_pool_indexed_equals_scan():
+    indexed = _run_indexed(120, 240, 3)
+    scan = _run_reference_scan(120, 240, 3)
+    assert indexed == scan
+    assert indexed > 200  # the faulty ads must not hollow out the pool
+
+
+@pytest.mark.slow
+def test_full_scale_pool():
+    matches = _run_indexed(10_000, 100_000, 16)
+    assert matches > 90_000

@@ -28,11 +28,13 @@ PUBLIC_MODULES = [
     "repro.condor",
     "repro.condor.classads",
     "repro.condor.classads.ad",
+    "repro.condor.classads.compile",
     "repro.condor.classads.expr",
     "repro.condor.classads.lexer",
     "repro.condor.classads.parser",
     "repro.condor.daemons",
     "repro.condor.daemons.config",
+    "repro.condor.daemons.match_index",
     "repro.condor.daemons.matchmaker",
     "repro.condor.daemons.schedd",
     "repro.condor.daemons.shadow",
