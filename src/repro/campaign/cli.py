@@ -26,7 +26,7 @@ from repro.campaign.engine import run_campaign
 from repro.campaign.report import render_cell_profiles, render_summary
 from repro.campaign.shrink import replay
 from repro.campaign.spec import CATALOGUE, CampaignConfig
-from repro.harness.parallel import WorkerFailure
+from repro.harness.parallel import WorkerFailure, positive_worker_count
 from repro.obs.export import dump_json
 from repro.obs.sanitize import PrincipleViolationError
 
@@ -42,7 +42,7 @@ def main(argv: list[str] | None = None) -> int:
                         choices=("scoped", "naive", "classic"),
                         help="error handling under test (classic = naive)")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+    parser.add_argument("--jobs", type=positive_worker_count, default=1, metavar="N",
                         help="run cells over N worker processes")
     parser.add_argument("--order", type=int, default=1, metavar="K",
                         help="also sweep multi-fault combinations up to size K")
@@ -79,8 +79,6 @@ def main(argv: list[str] | None = None) -> int:
                   f"{violation['description']}")
         return 0 if outcome["reproduced"] else 1
 
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
     if args.order < 1:
         parser.error("--order must be >= 1")
     kinds = None if args.kinds is None else tuple(

@@ -8,10 +8,17 @@
 from __future__ import annotations
 
 import hashlib
+import hmac
 
 from repro.sim.filesystem import FsError, LocalFileSystem
 
-__all__ = ["SECRET_FILENAME", "generate_secret", "place_secret", "read_secret"]
+__all__ = [
+    "SECRET_FILENAME",
+    "generate_secret",
+    "place_secret",
+    "read_secret",
+    "secrets_equal",
+]
 
 SECRET_FILENAME = "chirp.secret"
 
@@ -23,6 +30,18 @@ def generate_secret(seed_material: str) -> str:
     same secrets, keeping traces comparable.
     """
     return hashlib.sha256(("chirp:" + seed_material).encode()).hexdigest()[:32]
+
+
+def secrets_equal(presented: str, expected: str) -> bool:
+    """Constant-time equality for shared secrets and token signatures.
+
+    Wraps :func:`hmac.compare_digest` so comparison time leaks nothing
+    about how much of a guessed secret matched.  Used by the Chirp
+    proxy's AUTH check and by :mod:`repro.service.auth`'s bearer-token
+    verification; both sides must route secret comparison through here
+    rather than ``==``.
+    """
+    return hmac.compare_digest(presented.encode(), expected.encode())
 
 
 def place_secret(scratch: LocalFileSystem, scratch_dir: str, secret: str) -> str:

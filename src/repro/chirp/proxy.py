@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from time import perf_counter_ns
 
+from repro.chirp.auth import secrets_equal
 from repro.chirp.protocol import ChirpCode, ChirpReply, ChirpRequest
 from repro.condor.protocols import WireSize
 from repro.remoteio.rpc import Credential, RpcClient, RpcRequest
@@ -142,7 +143,7 @@ class ChirpProxy:
         wall = WALL_PROFILE
         t0 = perf_counter_ns() if wall is not None else 0
         try:
-            if request.secret != self.secret:
+            if not secrets_equal(request.secret, self.secret):
                 return ChirpReply(ChirpCode.AUTH_FAILED)
             if request.op not in ("read", "write", "stat"):
                 return ChirpReply(ChirpCode.INVALID_REQUEST)

@@ -37,7 +37,7 @@ import sys
 import time
 
 from repro.harness import experiments as E
-from repro.harness.parallel import ParallelRunner, WorkerFailure
+from repro.harness.parallel import ParallelRunner, WorkerFailure, positive_worker_count
 from repro.obs.export import ObservationSession, dump_json, to_jsonable
 from repro.obs.profile import render_profile
 
@@ -114,6 +114,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.campaign.cli import main as campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # Likewise the grid-as-a-service edge: ``python -m repro.harness
+        # serve ...`` is ``python -m repro.service serve ...``.
+        from repro.service.__main__ import main as service_main
+
+        return service_main(argv)
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Run the paper-reproduction experiments.",
@@ -121,7 +127,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiment", nargs="*",
                         help="experiment name(s), or 'all'")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+    parser.add_argument("--jobs", type=positive_worker_count, default=1, metavar="N",
                         help="run experiments over N worker processes "
                              "(output order stays stable)")
     parser.add_argument("--list", action="store_true", help="list experiments")
@@ -143,8 +149,6 @@ def main(argv: list[str] | None = None) -> int:
         print("subcommands:")
         print("  campaign  (fault-campaign engine; 'campaign --help' for flags)")
         return 0
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
     telemetry_flags = [
         flag
         for flag, value in (

@@ -366,6 +366,7 @@ _WALL_SITES = (
     "repro.condor.classads.parser",
     "repro.chirp.proxy",
     "repro.remoteio.server",
+    "repro.service.server",
 )
 
 _installed_wall: WallCounters | None = None

@@ -1,0 +1,63 @@
+"""Grid-as-a-service: the concurrent edge over the deterministic core.
+
+The paper's error-scope discipline is a statement about *system
+boundaries*: every error is handled at the scope that owns it, and the
+layer above sees a clean interface.  This package is that boundary as
+code.  Below it sits the byte-deterministic simulation (no wall clock,
+no asyncio, no threads); above it sits an ordinary asyncio HTTP/JSON
+service that takes heavy concurrent traffic, authenticates tenants,
+queues work in a persistent store, and fans accepted runs onto worker
+processes.
+
+Layering (diracx-style routers / logic / db / client):
+
+- :mod:`repro.service.server` -- asyncio HTTP/1.1 edge (stdlib only).
+- :mod:`repro.service.api`    -- versioned routes and request logic.
+- :mod:`repro.service.store`  -- SQLite run/artifact store
+  (schema ``repro-service/1``; runs and lifecycle events append-only).
+- :mod:`repro.service.auth`   -- per-user HMAC bearer tokens, grown from
+  :mod:`repro.chirp.auth`'s shared-secret derivation.
+- :mod:`repro.service.executor` -- the only bridge back into the core:
+  pure, picklable execute functions fanned over
+  :class:`repro.harness.parallel.ParallelRunner`.
+- :mod:`repro.service.client` -- asyncio client used by tests, CI, and
+  the load-generator benchmark.
+
+The boundary contract (DESIGN.md): every run the service accepts is
+recorded with its full spec before execution, and replays bit-identically
+through the existing CLI -- real concurrency lives only at the edge.
+"""
+
+from repro.service.api import ServiceApi, ServiceConfig
+from repro.service.auth import mint_token, verify_token
+from repro.service.client import ServiceApiError, ServiceClient
+from repro.service.errors import (
+    AuthError,
+    BadRequest,
+    NotFound,
+    QueueFull,
+    ServiceError,
+    WrongTenant,
+)
+from repro.service.executor import ServiceExecutor, replay_run
+from repro.service.server import ServiceServer
+from repro.service.store import RunStore
+
+__all__ = [
+    "AuthError",
+    "BadRequest",
+    "NotFound",
+    "QueueFull",
+    "RunStore",
+    "ServiceApi",
+    "ServiceApiError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceExecutor",
+    "ServiceServer",
+    "WrongTenant",
+    "mint_token",
+    "replay_run",
+    "verify_token",
+]

@@ -1,0 +1,169 @@
+"""Versioned routes and request logic (the diracx "routers + logic" layer).
+
+Transport-free: :meth:`ServiceApi.handle` maps ``(method, path, headers,
+body)`` to ``(status, payload, content_type)`` and raises only
+:class:`~repro.service.errors.ServiceError` subtypes.  The HTTP server
+is a thin shell around it, and tests can drive the full route surface
+without a socket.
+
+Routes (v1)::
+
+    GET  /v1/health                         liveness (unauthenticated)
+    POST /v1/jobs                           submit one grid job
+    POST /v1/experiments                    launch a named experiment
+    POST /v1/campaigns                      launch a fault campaign
+    GET  /v1/queue                          aggregate queue statistics
+    GET  /v1/runs/<id>                      run status (tenant-scoped)
+    GET  /v1/runs/<id>/artifacts            artifact names
+    GET  /v1/runs/<id>/artifacts/<name>     artifact content
+    GET  /v1/bench                          committed benchmark baselines
+    GET  /v1/bench/<name>                   one baseline's JSON
+
+Admission control happens here: beyond ``queue_limit`` active runs every
+submission is rejected with typed ``QUEUE_FULL`` -- the graceful-
+rejection-under-load pattern, applied before any state is created.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.service.auth import bearer_user
+from repro.service.errors import BadRequest, NotFound, QueueFull, WrongTenant
+from repro.service.specs import (
+    normalize_campaign_spec,
+    normalize_experiment_spec,
+    normalize_job_spec,
+)
+from repro.service.store import STORE_SCHEMA, RunStore
+
+__all__ = ["API_VERSION", "ServiceApi", "ServiceConfig"]
+
+API_VERSION = "v1"
+
+#: Artifacts that are JSON documents (everything else serves as text).
+_JSON_ARTIFACTS = {"result", "metrics", "report", "batch"}
+
+
+@dataclass
+class ServiceConfig:
+    """Operator-facing knobs for one service instance."""
+
+    secret: str
+    queue_limit: int = 1000
+    #: directory of committed BENCH_*.json baselines served read-only
+    bench_dir: str | None = "benchmarks/baseline"
+    #: wall clock; injectable for tests (expiry without sleeping)
+    now: Callable[[], float] = field(default=time.time)
+
+
+class ServiceApi:
+    """Route table + request logic over one store."""
+
+    def __init__(self, store: RunStore, config: ServiceConfig):
+        self.store = store
+        self.config = config
+
+    # -- entrypoint ------------------------------------------------------
+    def handle(
+        self, method: str, path: str, headers: dict[str, str], body: bytes
+    ) -> tuple[int, dict | bytes, str]:
+        """Dispatch one request; returns (status, payload, content_type).
+
+        Raises :class:`ServiceError` subtypes for every rejection; the
+        transport turns them into their HTTP envelope.
+        """
+        parts = [p for p in path.split("/") if p]
+        if not parts or parts[0] != API_VERSION:
+            raise NotFound(f"unknown API root {path!r}; routes live under /{API_VERSION}/")
+        parts = parts[1:]
+        if method == "GET" and parts == ["health"]:
+            return 200, {"ok": True, "schema": STORE_SCHEMA, "api": API_VERSION}, "json"
+        user = bearer_user(
+            self.config.secret, headers.get("authorization"), self.config.now()
+        )
+        if method == "POST" and parts in (["jobs"], ["experiments"], ["campaigns"]):
+            return self._submit(parts[0], user, body)
+        if method == "GET" and parts == ["queue"]:
+            return 200, self.store.queue_stats(), "json"
+        if method == "GET" and len(parts) >= 2 and parts[0] == "runs":
+            return self._runs(parts[1:], user)
+        if method == "GET" and parts and parts[0] == "bench":
+            return self._bench(parts[1:])
+        raise NotFound(f"no route for {method} {path}")
+
+    # -- submission ------------------------------------------------------
+    def _submit(self, route: str, user: str, body: bytes) -> tuple[int, dict, str]:
+        active = self.store.active_count()
+        if active >= self.config.queue_limit:
+            raise QueueFull(
+                f"queue at capacity ({active} active runs >= limit "
+                f"{self.config.queue_limit}); retry after runs drain"
+            )
+        try:
+            payload = json.loads(body or b"null")
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}") from None
+        kind, spec = {
+            "jobs": ("job", normalize_job_spec),
+            "experiments": ("experiment", normalize_experiment_spec),
+            "campaigns": ("campaign", normalize_campaign_spec),
+        }[route]
+        run_id = self.store.submit_run(kind, user, spec(payload))
+        return 202, {"run_id": run_id, "kind": kind, "state": "submitted"}, "json"
+
+    # -- run status + artifacts ------------------------------------------
+    def _run_id(self, text: str) -> int:
+        try:
+            return int(text)
+        except ValueError:
+            raise BadRequest(f"run id must be an integer, got {text!r}") from None
+
+    def _runs(self, parts: list[str], user: str) -> tuple[int, dict | bytes, str]:
+        status = self.store.run_status(self._run_id(parts[0]))
+        if status["tenant"] != user:
+            # The run id was valid, but it is another tenant's: reveal
+            # the ownership boundary, not the run's contents.
+            raise WrongTenant(
+                f"run {status['run_id']} belongs to tenant "
+                f"{status['tenant']!r}, token is for {user!r}"
+            )
+        if len(parts) == 1:
+            return 200, status, "json"
+        if parts[1] != "artifacts" or len(parts) > 3:
+            raise NotFound(f"no such run sub-resource {'/'.join(parts[1:])!r}")
+        if len(parts) == 2:
+            return 200, {"run_id": status["run_id"], "artifacts": status["artifacts"]}, "json"
+        name = parts[2]
+        content = self.store.get_artifact(status["run_id"], name)
+        return 200, content, ("json" if name in _JSON_ARTIFACTS else "text")
+
+    # -- benchmark baselines ---------------------------------------------
+    def _bench_root(self) -> Path:
+        if self.config.bench_dir is None:
+            raise NotFound("this service instance serves no benchmark baselines")
+        root = Path(self.config.bench_dir)
+        if not root.is_dir():
+            raise NotFound(f"benchmark baseline directory {str(root)!r} not found")
+        return root
+
+    def _bench(self, parts: list[str]) -> tuple[int, dict | bytes, str]:
+        root = self._bench_root()
+        if not parts:
+            names = sorted(p.stem for p in root.glob("BENCH_*.json"))
+            return 200, {"baselines": names}, "json"
+        if len(parts) > 1:
+            raise NotFound(f"no such bench sub-resource {'/'.join(parts)!r}")
+        name = parts[0]
+        # Serve only the flat BENCH_*.json namespace; anything with a
+        # path separator or outside the pattern never reaches the disk.
+        if not name.startswith("BENCH_") or any(sep in name for sep in "/\\.."):
+            raise NotFound(f"no baseline named {name!r}")
+        target = root / f"{name}.json"
+        if not target.is_file():
+            raise NotFound(f"no baseline named {name!r}")
+        return 200, target.read_bytes(), "json"

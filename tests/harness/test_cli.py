@@ -58,9 +58,45 @@ def test_main_jobs_parallel_stable_order(capsys):
     assert out.index("FIG4") < out.index("EXP-SCOPE-TIME")
 
 
-def test_main_jobs_must_be_positive():
-    with pytest.raises(SystemExit):
-        main(["fig4", "--jobs", "0"])
+class TestJobsValidation:
+    """--jobs rejects 0/negative/non-integer at argument parsing with a
+    clear message, instead of falling through to a confusing
+    ProcessPoolExecutor failure (shared ``positive_worker_count`` type)."""
+
+    def _error_text(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2  # argparse usage error, pre-run
+        return capsys.readouterr().err.strip().splitlines()[-1]
+
+    def test_jobs_zero_rejected_with_clear_error(self, capsys):
+        err = self._error_text(capsys, ["fig4", "--jobs", "0"])
+        assert "--jobs" in err and "must be >= 1" in err
+
+    def test_jobs_negative_rejected(self, capsys):
+        err = self._error_text(capsys, ["fig4", "--jobs", "-3"])
+        assert "must be >= 1" in err
+
+    def test_jobs_non_integer_rejected(self, capsys):
+        err = self._error_text(capsys, ["fig4", "--jobs", "two"])
+        assert "'two'" in err and "integer" in err
+
+    def test_campaign_jobs_zero_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err.strip().splitlines()[-1]
+        assert "--jobs" in err and "must be >= 1" in err
+
+    def test_positive_worker_count_type(self):
+        import argparse
+
+        from repro.harness.parallel import positive_worker_count
+
+        assert positive_worker_count("4") == 4
+        for bad in ("0", "-1", "x", "1.5"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                positive_worker_count(bad)
 
 
 def test_unknown_experiment_among_several_exits():

@@ -86,6 +86,15 @@ PUBLIC_MODULES = [
     "repro.remoteio",
     "repro.remoteio.rpc",
     "repro.remoteio.server",
+    "repro.service",
+    "repro.service.api",
+    "repro.service.auth",
+    "repro.service.client",
+    "repro.service.errors",
+    "repro.service.executor",
+    "repro.service.server",
+    "repro.service.specs",
+    "repro.service.store",
     "repro.sim",
     "repro.sim.engine",
     "repro.sim.filesystem",
