@@ -1,0 +1,85 @@
+"""EXP-CHURN-FED -- a federated grid under machine churn, at load.
+
+Not a paper figure: the robustness/throughput check for the federation
+layer.  A two-pool grid (small home pool, larger remote pool) takes a
+bursty workload while a deterministic churn generator removes and
+rejoins machines and the flock links carry the overflow.  The committed
+baseline tracks the sim-side schedule (exact, hard-fails on any diff)
+and the wall-time trajectory of running it.
+
+Cases:
+
+- ``test_federated_churn_load``: 48 jobs over 2+6 machines with churn
+  on both pools; everything must complete, some of it remotely.
+- ``test_backoff_vs_permanent_under_churn``: the EXP-CHURN kernel
+  (black hole healed mid-run) at bench scale; the backoff defense must
+  beat the permanent blacklist on makespan and re-admit the site.
+"""
+
+from repro.condor.daemons.config import CondorConfig
+from repro.condor.grid import ChurnGenerator, Grid, GridConfig, GridPoolSpec
+from repro.condor.job import JobState
+from repro.faults import FaultInjector
+from repro.harness.experiments import run_churn
+from repro.harness.metrics import collect_metrics
+from repro.harness.workloads import WorkloadSpec, make_workload
+from repro.sim.rng import RngRegistry
+
+
+def _federated_churn_load(seed: int = 0, n_jobs: int = 48):
+    condor = CondorConfig(error_mode="scoped", flock_after=30.0,
+                          schedd_avoidance=True)
+    grid = Grid(GridConfig(
+        pools=(GridPoolSpec("a", n_machines=2),
+               GridPoolSpec("b", n_machines=6)),
+        seed=seed,
+        condor=condor,
+    ))
+    injector = FaultInjector(grid)
+    churn = ChurnGenerator(
+        grid, grid.rngs.stream("bench-churn"),
+        mean_interval=90.0, mean_downtime=60.0, min_alive=3,
+    )
+    rngs = RngRegistry(seed)
+    jobs = make_workload(
+        WorkloadSpec(n_jobs=n_jobs, io_fraction=0.0, exception_fraction=0.0,
+                     exit_code_fraction=0.0, mean_work=45.0),
+        rngs.stream("bench-flock"),
+    )
+    arrivals = rngs.stream("bench-arrivals")
+    when = 0.0
+    for job in jobs:
+        grid.submit_at(job, when)
+        when += arrivals.expovariate(1.0 / 5.0)
+    grid.run_until_done(max_time=500_000, expected_jobs=len(jobs))
+    return grid, churn, jobs, collect_metrics(grid, jobs, injector)
+
+
+def test_federated_churn_load(benchmark):
+    grid, churn, jobs, metrics = benchmark.pedantic(
+        _federated_churn_load, rounds=3, iterations=1,
+    )
+    assert metrics.completed == len(jobs)
+    assert churn.leaves > 0 and churn.joins > 0
+    assert grid.schedd.jobs_flocked > 0
+    remote = sum(
+        1 for job in jobs
+        if job.state is JobState.COMPLETED and job.attempts[-1].site.startswith("b-")
+    )
+    assert remote > 0
+
+
+def test_backoff_vs_permanent_under_churn(benchmark):
+    result = benchmark.pedantic(
+        run_churn,
+        kwargs=dict(seed=0, n_jobs=24, n_machines=4, heal_at=200.0),
+        rounds=3, iterations=1,
+    )
+    print()
+    print(result.table().render())
+    none, permanent, backoff = (
+        result.row("none"), result.row("permanent"), result.row("backoff")
+    )
+    assert none.completed == permanent.completed == backoff.completed == 24
+    assert backoff.makespan < permanent.makespan < none.makespan
+    assert backoff.readmitted and not permanent.readmitted

@@ -48,6 +48,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="also sweep multi-fault combinations up to size K")
     parser.add_argument("--kinds", default=None, metavar="A,B,...",
                         help="restrict the catalogue to these fault kinds")
+    parser.add_argument("--federation", action="store_true",
+                        help="run every cell against a two-pool flocking grid "
+                             "(enables federation-only fault kinds)")
+    parser.add_argument("--defenses", action="store_true",
+                        help="turn on the §5 defenses (startd self-test "
+                             "re-probe, schedd backoff avoidance) in every cell")
     parser.add_argument("--list-kinds", action="store_true",
                         help="list the fault catalogue and exit")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -67,7 +73,8 @@ def main(argv: list[str] | None = None) -> int:
         print("fault catalogue:")
         for info in CATALOGUE:
             window = "windows: all" if info.disarmable else "windows: open-ended only"
-            print(f"  {info.kind}  (target: {info.target}; {window})")
+            fed = "; needs --federation" if info.needs_federation else ""
+            print(f"  {info.kind}  (target: {info.target}; {window}{fed})")
         return 0
 
     if args.replay is not None:
@@ -90,6 +97,8 @@ def main(argv: list[str] | None = None) -> int:
         max_order=args.order,
         kinds=kinds,
         fail_fast=args.fail_fast,
+        federation=args.federation,
+        defenses=args.defenses,
     )
     started = time.perf_counter()
     try:

@@ -67,12 +67,36 @@ def run_cell_record(cell: CellSpec, config: CampaignConfig, profile: bool = Fals
     sim-time attribution, so it stays inside the determinism contract.
     """
     registry: list = []
+    defense_knobs = (
+        dict(
+            startd_self_test=True,
+            self_test_interval=60.0,
+            schedd_avoidance=True,
+        )
+        if config.defenses
+        else {}
+    )
     condor = CondorConfig(
         error_mode=cell.mode,
         interface_registry=registry,
         max_retries=config.max_retries,
+        **defense_knobs,
     )
-    pool = Pool(PoolConfig(n_machines=config.n_machines, seed=cell.seed, condor=condor))
+    if config.federation:
+        from repro.condor.grid import Grid, GridConfig, GridPoolSpec
+
+        pool = Grid(
+            GridConfig(
+                pools=(
+                    GridPoolSpec("a", n_machines=config.n_machines),
+                    GridPoolSpec("b", n_machines=config.remote_machines),
+                ),
+                seed=cell.seed,
+                condor=condor,
+            )
+        )
+    else:
+        pool = Pool(PoolConfig(n_machines=config.n_machines, seed=cell.seed, condor=condor))
     rngs = RngRegistry(cell.seed)
     workload = WorkloadSpec(
         n_jobs=config.n_jobs,
@@ -197,6 +221,8 @@ def run_campaign(
             "kinds": None if config.kinds is None else list(config.kinds),
             "sites": list(config.sites),
             "job_indices": list(config.job_indices),
+            "federation": config.federation,
+            "defenses": config.defenses,
         },
         "cells": records,
         "totals": {

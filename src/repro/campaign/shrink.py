@@ -98,6 +98,8 @@ def minimize_cell(cell: CellSpec, config: CampaignConfig) -> dict:
         "n_machines": config.n_machines,
         "max_retries": config.max_retries,
         "max_time": config.max_time,
+        "federation": config.federation,
+        "defenses": config.defenses,
         "injections": [spec.as_dict() for spec in minimal],
         "expect": confirmed,
     }
@@ -125,6 +127,8 @@ def replay(spec: dict | str) -> dict:
         n_machines=int(spec["n_machines"]),
         max_retries=int(spec["max_retries"]),
         max_time=float(spec["max_time"]),
+        federation=bool(spec.get("federation", False)),
+        defenses=bool(spec.get("defenses", False)),
     )
     injections = tuple(FaultSpec.from_dict(d) for d in spec["injections"])
     cell = CellSpec(

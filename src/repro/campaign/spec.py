@@ -21,12 +21,15 @@ import itertools
 from dataclasses import dataclass
 
 from repro.faults import (
+    BlackHoleChurn,
     CorruptProgramImage,
     CredentialExpiry,
     Fault,
+    FlockLinkDown,
     HomeDiskFull,
     HomeFilesystemOffline,
     JvmBinaryMissing,
+    MachineChurn,
     MachineCrash,
     MemoryPressure,
     MisconfiguredJvm,
@@ -57,6 +60,9 @@ class KindInfo:
     #: False for faults whose arm() is irreversible -- such kinds only
     #: get the open-ended window (a bounded window would call disarm()).
     disarmable: bool = True
+    #: True for faults that only make sense against a federation (a
+    #: flock link cannot go down on a solitary pool).
+    needs_federation: bool = False
 
 
 #: The explicit-fault catalogue the campaign sweeps (faults.py table).
@@ -75,6 +81,11 @@ CATALOGUE: tuple[KindInfo, ...] = (
     KindInfo("CorruptProgramImage", "job"),
     KindInfo("MissingInputFile", "job", disarmable=False),
     KindInfo("HomeDiskFull", "pool"),
+    # Federation-era kinds (PR 8): machine churn works against any pool;
+    # a flock link can only fail where flock links exist.
+    KindInfo("MachineChurn", "site"),
+    KindInfo("BlackHoleChurn", "site"),
+    KindInfo("FlockLinkDown", "pool", needs_federation=True),
 )
 
 _KIND_INFO: dict[str, KindInfo] = {info.kind: info for info in CATALOGUE}
@@ -158,15 +169,35 @@ class CampaignConfig:
     max_retries: int = 6
     max_time: float = 100_000.0
     fail_fast: bool = False
+    #: run every cell against a two-pool Grid (flocking on) instead of a
+    #: solitary Pool; required by federation-only fault kinds
+    federation: bool = False
+    #: machines in the remote pool when ``federation`` is on
+    remote_machines: int = 3
+    #: turn on the §5 defenses (startd self-test with periodic re-probe,
+    #: schedd backoff avoidance) in every cell
+    defenses: bool = False
 
     def catalogue(self) -> tuple[KindInfo, ...]:
         if self.kinds is None:
-            return CATALOGUE
+            return tuple(
+                info for info in CATALOGUE
+                if self.federation or not info.needs_federation
+            )
         unknown = set(self.kinds) - set(_KIND_INFO)
         if unknown:
             raise ValueError(
                 f"unknown fault kind(s) {sorted(unknown)}; "
                 f"catalogue: {sorted(_KIND_INFO)}"
+            )
+        needy = [
+            k for k in self.kinds
+            if _KIND_INFO[k].needs_federation and not self.federation
+        ]
+        if needy:
+            raise ValueError(
+                f"fault kind(s) {sorted(needy)} need --federation "
+                "(a solitary pool has no flock links)"
             )
         return tuple(info for info in CATALOGUE if info.kind in self.kinds)
 
@@ -224,23 +255,46 @@ def enumerate_cells(config: CampaignConfig) -> tuple[CellSpec, ...]:
     return tuple(cells)
 
 
+def _resolve_site(site: str | None, pool) -> str | None:
+    """Map a spec's site name onto *pool*'s machine namespace.
+
+    Cell specs name sites in solitary-pool terms ("exec000"); a
+    federation prefixes machine names with the member pool ("a-exec000").
+    Matching by suffix keeps one spec replayable against either, and the
+    sorted scan keeps the choice deterministic.
+    """
+    if site is None or site in pool.machines:
+        return site
+    for name in sorted(pool.machines):
+        if name.endswith(site):
+            return name
+    return site
+
+
 def build_fault(spec: FaultSpec, pool, jobs) -> Fault:
     """Instantiate *spec* against *pool* and the workload *jobs*."""
     kind = spec.kind
+    site = _resolve_site(spec.site, pool)
     if kind == "MisconfiguredJvm":
-        return MisconfiguredJvm(spec.site)
+        return MisconfiguredJvm(site)
     if kind == "JvmBinaryMissing":
-        return JvmBinaryMissing(spec.site)
+        return JvmBinaryMissing(site)
     if kind == "ScratchDiskFull":
-        return ScratchDiskFull(spec.site)
+        return ScratchDiskFull(site)
     if kind == "MachineCrash":
-        return MachineCrash(spec.site)
+        return MachineCrash(site)
     if kind == "NetworkPartition":
         # Exec-side partition: the submit machine cannot reach the site.
-        return NetworkPartition("submit", spec.site)
+        return NetworkPartition(pool.schedd.submit_host, site)
     if kind == "MemoryPressure":
-        machine = pool.machines[spec.site]
-        return MemoryPressure(spec.site, machine.memory_total - 10 * MB)
+        machine = pool.machines[site]
+        return MemoryPressure(site, machine.memory_total - 10 * MB)
+    if kind == "MachineChurn":
+        return MachineChurn(site, graceful=False)
+    if kind == "BlackHoleChurn":
+        return BlackHoleChurn(site)
+    if kind == "FlockLinkDown":
+        return FlockLinkDown()
     if kind == "HomeFilesystemOffline":
         return HomeFilesystemOffline()
     if kind == "CredentialExpiry":

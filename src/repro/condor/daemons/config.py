@@ -38,6 +38,24 @@ class CondorConfig:
     #: consecutive environmental failures at one site before the schedd
     #: avoids it (only with schedd_avoidance)
     avoidance_threshold: int = 2
+    #: "backoff" -- avoidance windows grow exponentially per strike and a
+    #: site is re-admitted on probation when its window expires (a
+    #: probation success clears the record); "permanent" -- the original
+    #: blacklist that never forgives (kept for EXP-CHURN's baseline).
+    avoidance_mode: str = "backoff"
+    #: first avoidance window, doubled per strike past the threshold
+    avoidance_base: float = 120.0
+    avoidance_cap: float = 3840.0
+    #: Flocking (pool-of-pools): remote matchmakers the schedd may
+    #: overflow idle jobs to.  A job idle longer than ``flock_after`` is
+    #: advertised to flock targets as well as the home matchmaker.
+    flock_after: float = 60.0
+    #: consecutive unreachable advertise attempts before a flock link is
+    #: declared down (a POOL-scope error, masked by the grid-aware schedd)
+    flock_retry_budget: int = 3
+    #: backoff between attempts on an unreachable flock link
+    flock_backoff_base: float = 15.0
+    flock_backoff_cap: float = 480.0
     #: give up and hold a job after this many environmental retries
     max_retries: int = 20
     # daemon cadences (simulated seconds)
@@ -68,4 +86,8 @@ class CondorConfig:
         if self.error_mode not in ("naive", "scoped"):
             raise ValueError(
                 f"error_mode must be 'naive', 'scoped' or 'classic', not {self.error_mode!r}"
+            )
+        if self.avoidance_mode not in ("backoff", "permanent"):
+            raise ValueError(
+                f"avoidance_mode must be 'backoff' or 'permanent', not {self.avoidance_mode!r}"
             )

@@ -58,7 +58,13 @@ from repro.condor.daemons.match_index import (
     machine_rank_literal,
     rank_cacheable,
 )
-from repro.condor.protocols import Advertise, AdvertiseBatch, MatchNotify, WireSize
+from repro.condor.protocols import (
+    Advertise,
+    AdvertiseBatch,
+    InvalidateAd,
+    MatchNotify,
+    WireSize,
+)
 from repro.sim.engine import Simulator
 from repro.sim.network import Network, NetworkError
 
@@ -179,6 +185,9 @@ class Matchmaker:
                         self.receive_ad(message.kind, name, ad)
                 elif isinstance(message, Advertise):
                     self.receive_ad(message.kind, message.name, message.ad)
+                elif isinstance(message, InvalidateAd):
+                    for name in message.names:
+                        self.retract_ad(message.kind, name)
         except NetworkError:
             return
 
@@ -228,6 +237,26 @@ class Matchmaker:
         elif kind == "job":
             self.job_ads[name] = stored
             heappush(self._expiry_heap, (stored.received, 1, name))
+
+    def retract_ad(self, kind: str, name: str) -> None:
+        """Drop one ad immediately (graceful machine leave).
+
+        The expiry path (:meth:`_expire`) does the same eventually; a
+        retraction just refuses to hand out a machine its owner already
+        said goodbye to.  Cached rank-order entries die automatically
+        (their sequence number no longer matches), and the last-matched
+        stamp goes with the ad -- the same leak-prevention discipline
+        expiry applies.
+        """
+        if kind == "machine":
+            if self.machine_ads.pop(name, None) is None:
+                return
+            self._index.remove(name)
+            self._fresh.discard(name)
+            self._ad_seq.pop(name, None)
+            self._recently_matched.pop(name, None)
+        elif kind == "job":
+            self.job_ads.pop(name, None)
 
     def _admit_to_orders(self, name: str, stored: _StoredAd, seq: int) -> None:
         """Insert the new ad into every cached rank order (or poison the

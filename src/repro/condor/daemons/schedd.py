@@ -13,7 +13,20 @@ the user, who must perform the postmortem.
 
 With ``schedd_avoidance`` enabled, the schedd implements §5's
 complementary defense: "enhance the schedd with logic to detect and avoid
-hosts with chronic failures."
+hosts with chronic failures."  The defense is backoff-hardened (see
+:mod:`repro.condor.daemons.avoidance`): avoidance windows grow
+exponentially per strike and recovered sites are re-admitted on
+probation, instead of the original permanent blacklist.
+
+With flock links configured (:meth:`Schedd.add_flock_target`), the
+schedd federates: a job idle longer than ``flock_after`` is advertised
+to remote pools' matchmakers as well as the home one, so work overflows
+from a saturated pool.  Each link carries a retry budget and exponential
+backoff; a link that exhausts its budget is a POOL-scope error the
+grid-aware schedd masks (it keeps retrying on the backoff schedule and
+the other pools keep the grid usable), and only when the local
+matchmaker *and* every flock link are unreachable does the error widen
+to GRID scope and escalate to the user.
 """
 
 from __future__ import annotations
@@ -21,6 +34,7 @@ from __future__ import annotations
 import itertools
 
 from repro.condor.classads import ClassAd
+from repro.condor.daemons.avoidance import SiteAvoidance
 from repro.condor.daemons.config import CondorConfig
 from repro.condor.daemons.shadow import Shadow, ShadowOutcome
 from repro.condor.job import ExecutionAttempt, Job, JobState, Universe
@@ -39,7 +53,57 @@ from repro.remoteio.rpc import Credential
 from repro.sim.engine import Simulator
 from repro.sim.network import Network, NetworkError
 
-__all__ = ["Schedd"]
+__all__ = ["FlockLink", "Schedd"]
+
+
+class FlockLink:
+    """One schedd-to-remote-pool link with its own failure discipline.
+
+    A link is *up* until ``flock_retry_budget`` consecutive advertise
+    attempts fail; each failure also pushes the next attempt out by an
+    exponentially growing backoff (capped), so an unreachable remote
+    pool costs a bounded, shrinking trickle of connection attempts
+    rather than a retry storm.  Any success resets the whole record.
+    """
+
+    def __init__(self, host: str, config: CondorConfig):
+        self.host = host
+        self.config = config
+        self.consecutive_failures = 0
+        self.backoff = config.flock_backoff_base
+        self.next_attempt = 0.0
+        self.down = False
+        self.jobs_flocked = 0
+        #: cumulative down-transitions (never reset; for reporting)
+        self.times_down = 0
+
+    def ready(self, now: float) -> bool:
+        """True when the backoff schedule allows another attempt."""
+        return now >= self.next_attempt
+
+    def note_success(self, now: float) -> bool:
+        """Record a reachable remote matchmaker; True on an up-transition."""
+        was_down = self.down
+        self.consecutive_failures = 0
+        self.backoff = self.config.flock_backoff_base
+        self.next_attempt = now
+        self.down = False
+        return was_down
+
+    def note_failure(self, now: float) -> bool:
+        """Record an unreachable remote matchmaker; True on a
+        down-transition (the retry budget was just exhausted)."""
+        self.consecutive_failures += 1
+        self.next_attempt = now + self.backoff
+        self.backoff = min(self.backoff * 2.0, self.config.flock_backoff_cap)
+        newly_down = (
+            not self.down
+            and self.consecutive_failures >= self.config.flock_retry_budget
+        )
+        if newly_down:
+            self.down = True
+            self.times_down += 1
+        return newly_down
 
 
 class Schedd:
@@ -73,9 +137,18 @@ class Schedd:
         # Shadow I/O server ports: per-schedd sequence, unique on this
         # submit host and deterministic per run (no module-global state).
         self._io_port_seq = itertools.count(20001)
-        self.site_failures: dict[str, int] = {}
-        self.avoided_sites: set[str] = set()
+        self.avoidance = SiteAvoidance(config)
         self.shadows_spawned = 0
+        #: Flocking state: remote pools this schedd may overflow to.
+        self.flock_links: list[FlockLink] = []
+        self.jobs_flocked = 0
+        #: job_id -> time it (last) became idle, for flock eligibility
+        self._idle_since: dict[str, float] = {}
+        #: job_ids already announced as flocked (one telemetry event each)
+        self._flock_announced: set[str] = set()
+        #: consecutive local-matchmaker advertise failures (grid escalation)
+        self._local_mm_failures = 0
+        self._grid_error_reported = False
         self.listener = net.listen(submit_host, self.PORT)
         self._accept_proc = sim.spawn(self._accept_loop(), name=f"schedd:{submit_host}")
         self._accept_proc.defuse()
@@ -84,6 +157,35 @@ class Schedd:
         )
         self._advertise_proc.defuse()
 
+    # -- avoidance views ------------------------------------------------------
+    @property
+    def site_failures(self) -> dict[str, int]:
+        """Per-site strike counts (compatibility view over the avoidance
+        state; mutating it mutates the defense's record)."""
+        return self.avoidance.failures
+
+    @property
+    def avoided_sites(self) -> set[str]:
+        """The sites currently inside an avoidance window."""
+        return self.avoidance.avoided(self.sim.now)
+
+    def forget_site(self, site: str) -> None:
+        """*site* permanently left the pool: evict its avoidance record.
+
+        Called by :meth:`~repro.condor.pool.Pool.remove_machine`; without
+        it the strike/window tables grow without bound under churn.
+        """
+        self.avoidance.forget(site)
+
+    # -- federation -----------------------------------------------------------
+    def add_flock_target(self, matchmaker_host: str) -> FlockLink:
+        """Flock to the remote pool whose matchmaker runs on *matchmaker_host*."""
+        if any(link.host == matchmaker_host for link in self.flock_links):
+            raise ValueError(f"already flocking to {matchmaker_host}")
+        link = FlockLink(matchmaker_host, self.config)
+        self.flock_links.append(link)
+        return link
+
     # -- submission -----------------------------------------------------------
     def submit(self, job: Job) -> None:
         """Accept *job* into the queue (persistent storage, per §2.1)."""
@@ -91,6 +193,7 @@ class Schedd:
             raise ValueError(f"duplicate job id {job.job_id}")
         job.submitted_at = self.sim.now
         job.set_state(JobState.IDLE)
+        self._idle_since[job.job_id] = self.sim.now
         self.jobs[job.job_id] = job
         self.userlog.log(self.sim.now, job.job_id, UserLogEventType.SUBMIT)
         bus = self.sim.telemetry
@@ -106,6 +209,7 @@ class Schedd:
     def _advertise_loop(self):
         while True:
             yield from self._advertise_jobs()
+            yield from self._advertise_flock()
             yield self.sim.timeout(self.config.advertise_interval)
 
     def _advertise_jobs(self):
@@ -130,7 +234,125 @@ class Schedd:
             )
             conn.close()
         except NetworkError:
-            return  # matchmaker unreachable: retry next interval
+            # Matchmaker unreachable: retry next interval.  In a
+            # federation this is where POOL-scope trouble can widen to
+            # GRID scope -- but only once every flock link is down too.
+            self._local_mm_failures += 1
+            self._check_grid_scope()
+            return
+        self._local_mm_failures = 0
+        self._grid_error_reported = False
+
+    # -- flocking -------------------------------------------------------------
+    def _flock_candidates(self) -> list[Job]:
+        now = self.sim.now
+        return [
+            job
+            for job in self.jobs.values()
+            if job.state is JobState.IDLE
+            and now - self._idle_since.get(job.job_id, now) >= self.config.flock_after
+        ]
+
+    def _advertise_flock(self):
+        """Overflow long-idle jobs to every ready flock link.
+
+        The job ads carry ``scheddhost`` pointing back here, so a remote
+        matchmaker's MatchNotify, the claim, and the shadow all run over
+        the shared network exactly as a local match would.
+        """
+        if not self.flock_links:
+            return
+        candidates = self._flock_candidates()
+        if not candidates:
+            return
+        bus = self.sim.telemetry
+        for link in self.flock_links:
+            if not link.ready(self.sim.now):
+                continue
+            batch = tuple(
+                (f"{self.submit_host}#{job.job_id}", self._job_ad(job))
+                for job in candidates
+            )
+            try:
+                conn = yield from self.net.connect(
+                    self.submit_host, link.host, 9618,
+                    timeout=self.config.claim_timeout,
+                )
+                conn.send(
+                    AdvertiseBatch(kind="job", ads=batch),
+                    size=WireSize.AD * len(batch),
+                )
+                conn.close()
+            except NetworkError:
+                self._flock_link_failed(link)
+                continue
+            if link.note_success(self.sim.now) and bus is not None and bus.active:
+                bus.emit(
+                    self.sim.now, "daemon", "flock_link_up",
+                    schedd=self.submit_host, target=link.host,
+                )
+            for job in candidates:
+                if job.job_id in self._flock_announced:
+                    continue
+                self._flock_announced.add(job.job_id)
+                link.jobs_flocked += 1
+                self.jobs_flocked += 1
+                if bus is not None and bus.active:
+                    bus.emit(
+                        self.sim.now, "job", "flock",
+                        job=job.job_id, target=link.host,
+                    )
+
+    def _flock_link_failed(self, link: FlockLink) -> None:
+        if not link.note_failure(self.sim.now):
+            return
+        # The link just exhausted its retry budget: a POOL-scope error
+        # (one whole remote pool is invalid) that the grid-aware schedd
+        # masks -- the backoff schedule keeps probing, and the rest of
+        # the grid keeps the job stream moving.
+        bus = self.sim.telemetry
+        if bus is not None and bus.active:
+            bus.emit(
+                self.sim.now, "daemon", "flock_link_down",
+                schedd=self.submit_host, target=link.host,
+                failures=link.consecutive_failures,
+            )
+        if self.chain is not None:
+            err = explicit(
+                "FlockLinkDown",
+                ErrorScope.POOL,
+                detail=f"{self.submit_host}->{link.host}",
+                origin="schedd",
+                time=self.sim.now,
+            )
+            self.chain.propagate(err, discovered_by="schedd", time=self.sim.now)
+        self._check_grid_scope()
+
+    def _check_grid_scope(self) -> None:
+        """Escalate to GRID scope when no matchmaker anywhere is reachable."""
+        if self._grid_error_reported or not self.flock_links:
+            return
+        if self._local_mm_failures < self.config.flock_retry_budget:
+            return
+        if not all(link.down for link in self.flock_links):
+            return
+        self._grid_error_reported = True
+        bus = self.sim.telemetry
+        if bus is not None and bus.active:
+            bus.emit(
+                self.sim.now, "daemon", "grid_unreachable",
+                schedd=self.submit_host,
+            )
+        if self.chain is not None:
+            err = explicit(
+                "GridUnreachable",
+                ErrorScope.GRID,
+                detail=f"{self.submit_host}: local pool and all "
+                       f"{len(self.flock_links)} flock links unreachable",
+                origin="schedd",
+                time=self.sim.now,
+            )
+            self.chain.propagate(err, discovered_by="schedd", time=self.sim.now)
 
     def _job_ad(self, job: Job) -> ClassAd:
         ad = job.to_classad()
@@ -165,9 +387,10 @@ class Schedd:
             job = self.jobs.get(message.job_id)
             if job is None or job.state is not JobState.IDLE:
                 return
-            if message.startd_name in self.avoided_sites:
+            if self.avoidance.is_avoided(message.startd_name, self.sim.now):
                 return  # leave the job idle; it will be re-advertised
             job.set_state(JobState.MATCHED)
+            self._idle_since.pop(job.job_id, None)
             bus = self.sim.telemetry
             if bus is not None and bus.active:
                 bus.emit(
@@ -189,6 +412,7 @@ class Schedd:
                     job=job.job_id, site=match.startd_name,
                 )
             job.set_state(JobState.IDLE)
+            self._idle_since[job.job_id] = self.sim.now
             return
         shadow = Shadow(
             sim=self.sim,
@@ -254,6 +478,9 @@ class Schedd:
     def _dispose(self, job: Job, attempt: ExecutionAttempt, outcome: ShadowOutcome) -> None:
         if outcome.kind == "result":
             attempt.result = outcome.result
+            # The site delivered: if it was on probation, the trial
+            # passed and its avoidance record is cleared.
+            self.avoidance.note_success(attempt.site, self.sim.now)
             self._complete(job, outcome)
             return
         assert outcome.scope is not None
@@ -293,10 +520,13 @@ class Schedd:
             self._hold(job, f"too many retries ({env_failures})")
             return
         job.set_state(JobState.IDLE)
+        self._idle_since[job.job_id] = self.sim.now
 
     def _complete(self, job: Job, outcome: ShadowOutcome) -> None:
         job.final_result = outcome.result
         job.set_state(JobState.COMPLETED)
+        self._idle_since.pop(job.job_id, None)
+        self._flock_announced.discard(job.job_id)
         # Structured classification: a termination is an error delivery
         # exactly when the delivered file is not a program result.
         is_error = outcome.result is not None and not outcome.result.is_program_result
@@ -317,6 +547,8 @@ class Schedd:
     def _hold(self, job: Job, reason: str) -> None:
         job.hold_reason = reason
         job.set_state(JobState.HELD)
+        self._idle_since.pop(job.job_id, None)
+        self._flock_announced.discard(job.job_id)
         self.userlog.log(
             self.sim.now, job.job_id, UserLogEventType.HELD, reason, error=True
         )
@@ -325,12 +557,14 @@ class Schedd:
             bus.emit(self.sim.now, "job", "hold", job=job.job_id, reason=reason)
 
     def _note_site_failure(self, site: str) -> None:
-        self.site_failures[site] = self.site_failures.get(site, 0) + 1
-        if (
-            self.config.schedd_avoidance
-            and self.site_failures[site] >= self.config.avoidance_threshold
-        ):
-            self.avoided_sites.add(site)
+        if self.avoidance.note_failure(site, self.sim.now):
+            bus = self.sim.telemetry
+            if bus is not None and bus.active:
+                bus.emit(
+                    self.sim.now, "daemon", "site_avoided",
+                    schedd=self.submit_host, site=site,
+                    strikes=self.avoidance.failures[site],
+                )
 
     def _record_propagation(self, job: Job, attempt: ExecutionAttempt, outcome: ShadowOutcome) -> None:
         if self.chain is None:

@@ -21,6 +21,7 @@ from repro.condor.protocols import (
     AdvertiseBatch,
     ClaimGranted,
     ClaimRejected,
+    InvalidateAd,
     RequestClaim,
     WireSize,
 )
@@ -72,6 +73,10 @@ class Startd:
         # deterministic across repeated runs in one process (DESIGN §6).
         self._claim_seq = itertools.count(1)
         self._starter_port_seq = itertools.count(30001)
+        #: True once the startd has left the pool (machine churn); a
+        #: retired startd accepts no claims and sends no ads.
+        self.retired = False
+        self._retest_proc = None
         if config.startd_self_test:
             self.java_advertised = self._self_test()
         self.listener = net.listen(machine.name, self.PORT)
@@ -86,6 +91,53 @@ class Startd:
                 self._self_test_loop(), name=f"startd-retest:{machine.name}"
             )
             self._retest_proc.defuse()
+
+    # -- machine churn --------------------------------------------------------
+    def shutdown(self, graceful: bool = True) -> None:
+        """Take this startd out of the pool.
+
+        *graceful* leave: evict visiting jobs (their shadows receive an
+        explicit remote-resource eviction error and the jobs retry
+        elsewhere), retract our ads at the matchmaker right away, and
+        stop listening.  Crash-leave (``graceful=False``): just stop --
+        the caller has already crashed the machine, in-flight claims die
+        with explicit ClaimLost errors at their shadows, and the stale
+        ads age out of the matchmaker over ``ad_lifetime``.
+        """
+        if self.retired:
+            return
+        self.retired = True
+        bus = self.sim.telemetry
+        if bus is not None and bus.active:
+            bus.emit(
+                self.sim.now, "daemon", "startd_shutdown",
+                machine=self.machine.name, graceful=graceful,
+            )
+        if graceful:
+            for starter in self.slot_starters.values():
+                if starter is not None:
+                    starter.evict()
+            retract = self.sim.spawn(
+                self._invalidate_ads(), name=f"startd-retract:{self.machine.name}"
+            )
+            retract.defuse()
+        self.listener.close()
+        self._accept_proc.interrupt("startd shutdown")
+        self._advertise_proc.interrupt("startd shutdown")
+        if self._retest_proc is not None:
+            self._retest_proc.interrupt("startd shutdown")
+
+    def _invalidate_ads(self):
+        names = tuple(self.slot_name(slot) for slot in range(self.machine.slots))
+        try:
+            conn = yield from self.net.connect(
+                self.machine.name, self.matchmaker_host, 9618,
+                timeout=self.config.claim_timeout,
+            )
+            conn.send(InvalidateAd(kind="machine", names=names), size=WireSize.CONTROL)
+            conn.close()
+        except NetworkError:
+            return  # unreachable: ad expiry will clean up instead
 
     def _self_test_loop(self):
         """Periodic re-probe: catches installations that break after boot
@@ -189,7 +241,7 @@ class Startd:
         All slots ride in one :class:`AdvertiseBatch` message so the
         matchmaker pays one receive per advertisement, not one per slot.
         """
-        if not self.machine.online:
+        if self.retired or not self.machine.online:
             return
         self.ads_sent += 1
         try:
@@ -225,7 +277,7 @@ class Startd:
         if not isinstance(request, RequestClaim):
             conn.close()
             return
-        if not self.machine.online:
+        if self.retired or not self.machine.online:
             conn.close()
             return
         # "Matched processes are individually responsible for ... verifying

@@ -29,16 +29,28 @@ from repro.sim.rng import RngRegistry
 __all__ = ["Pool", "PoolConfig", "figure3_chain"]
 
 
-def figure3_chain() -> ManagementChain:
-    """The Java Universe management chain of Figure 3."""
+def figure3_chain(federated: bool = False) -> ManagementChain:
+    """The Java Universe management chain of Figure 3.
+
+    With *federated*, the schedd is grid-aware: it also manages
+    POOL-scope errors (a dead pool is masked by flocking the job to
+    another one), and only GRID scope -- every pool gone -- reaches the
+    user.  A solitary pool keeps the paper's original ladder, where POOL
+    scope is already the user's problem.
+    """
+    schedd_scopes = {ErrorScope.LOCAL_RESOURCE, ErrorScope.JOB}
+    user_scopes = {ErrorScope.POOL, ErrorScope.GRID}
+    if federated:
+        schedd_scopes = schedd_scopes | {ErrorScope.POOL}
+        user_scopes = {ErrorScope.GRID}
     return ManagementChain(
         [
             ScopeManager("program", {ErrorScope.FILE, ErrorScope.FUNCTION}),
             ScopeManager("wrapper", {ErrorScope.PROGRAM, ErrorScope.PROCESS}),
             ScopeManager("starter", {ErrorScope.VIRTUAL_MACHINE, ErrorScope.CLUSTER}),
             ScopeManager("shadow", {ErrorScope.REMOTE_RESOURCE}),
-            ScopeManager("schedd", {ErrorScope.LOCAL_RESOURCE, ErrorScope.JOB}),
-            ScopeManager("user", {ErrorScope.POOL}),
+            ScopeManager("schedd", schedd_scopes),
+            ScopeManager("user", user_scopes),
         ]
     )
 
@@ -55,6 +67,9 @@ class PoolConfig:
     condor: CondorConfig = field(default_factory=CondorConfig)
     submit_host: str = "submit"
     central_host: str = "central"
+    #: execution-machine name prefix; a federation gives each pool its
+    #: own prefix so machine (= host) names stay globally unique
+    machine_prefix: str = "exec"
     home_capacity: int = 10**9
     network_latency: float = 0.001
     #: None = local home directory; "hard"/"soft" = NFS-mounted home with
@@ -67,17 +82,30 @@ class PoolConfig:
 class Pool:
     """A complete simulated Condor pool."""
 
-    def __init__(self, config: PoolConfig | None = None):
+    def __init__(
+        self,
+        config: PoolConfig | None = None,
+        sim: Simulator | None = None,
+        net: Network | None = None,
+        chain: ManagementChain | None = None,
+        rngs: RngRegistry | None = None,
+    ):
+        """Build a pool, normally self-contained.
+
+        A federation (:class:`~repro.condor.grid.Grid`) passes a shared
+        *sim*, *net*, *chain* and *rngs* so several pools live on one
+        simulated substrate and error journeys share one ladder.
+        """
         self.config = config or PoolConfig()
         condor = self.config.condor
-        self.sim = Simulator()
-        self.rngs = RngRegistry(self.config.seed)
-        self.net = Network(
+        self.sim = sim if sim is not None else Simulator()
+        self.rngs = rngs if rngs is not None else RngRegistry(self.config.seed)
+        self.net = net if net is not None else Network(
             self.sim,
             default_latency=self.config.network_latency,
             rng=self.rngs.stream("network.loss"),
         )
-        self.chain = figure3_chain()
+        self.chain = chain if chain is not None else figure3_chain()
         # Telemetry: attach the ambient bus (an ObservationSession's, if
         # one is active; otherwise a fresh inert one).  The simulator and
         # the management chain feed it by duck typing; the daemons reach
@@ -125,10 +153,12 @@ class Pool:
         # Execution machines.
         self.machines: dict[str, Machine] = {}
         self.startds: dict[str, Startd] = {}
+        #: machines that left (churn) and may rejoin under the same name
+        self._parked: dict[str, Machine] = {}
         speeds = self.config.cpu_speeds or [1.0] * self.config.n_machines
         for i in range(self.config.n_machines):
             self.add_machine(
-                f"exec{i:03d}",
+                f"{self.config.machine_prefix}{i:03d}",
                 cpu_speed=speeds[i % len(speeds)],
             )
 
@@ -157,6 +187,61 @@ class Pool:
         self.startds[name] = Startd(
             self.sim, self.net, machine, self.config.central_host, self.config.condor
         )
+        return machine
+
+    # -- machine churn ----------------------------------------------------------
+    def remove_machine(self, name: str, graceful: bool = True) -> Machine:
+        """One machine leaves the pool mid-run.
+
+        *graceful* leave: the startd evicts its visiting jobs (explicit
+        remote-resource eviction errors; the jobs retry elsewhere),
+        retracts its ads at the matchmaker, and stops listening.
+        Crash-leave (``graceful=False``): the machine loses power --
+        every local process dies, the host drops off the network, and a
+        claimed machine's shadow surfaces an explicit REMOTE_RESOURCE
+        ``ClaimLost`` error at the schedd (never an implicit loss).
+
+        Either way every schedd forgets the site's avoidance record
+        (the strike tables must not grow without bound under churn) and
+        the machine is parked for a possible :meth:`rejoin_machine`.
+        """
+        machine = self.machines.pop(name)
+        startd = self.startds.pop(name)
+        if graceful:
+            startd.shutdown(graceful=True)
+            machine.online = False
+        else:
+            machine.crash()
+            self.net.set_host_down(name)
+            startd.shutdown(graceful=False)
+        for schedd in self.schedds.values():
+            schedd.forget_site(name)
+        self._parked[name] = machine
+        if self.bus.active:
+            self.bus.emit(
+                self.sim.now, "daemon", "machine_leave",
+                machine=name, graceful=graceful,
+            )
+        return machine
+
+    def rejoin_machine(self, name: str) -> Machine:
+        """A previously removed machine comes back under the same name.
+
+        The parked :class:`~repro.sim.machine.Machine` object returns
+        with its configuration intact -- including a broken Java
+        installation, so a black hole that churns is still a black hole
+        until someone repairs it -- and a fresh startd takes over the
+        (freed) listener port.
+        """
+        machine = self._parked.pop(name)
+        machine.boot()
+        self.net.set_host_down(name, down=False)
+        self.machines[name] = machine
+        self.startds[name] = Startd(
+            self.sim, self.net, machine, self.config.central_host, self.config.condor
+        )
+        if self.bus.active:
+            self.bus.emit(self.sim.now, "daemon", "machine_join", machine=name)
         return machine
 
     def add_schedd(self, submit_host: str, home_capacity: int | None = None) -> Schedd:
@@ -230,6 +315,11 @@ class Pool:
         return self.sim.now
 
     # -- introspection ----------------------------------------------------------
+    @property
+    def parked(self) -> dict[str, Machine]:
+        """Machines that left (churn) and have not rejoined yet."""
+        return self._parked
+
     @property
     def userlog(self):
         return self.schedd.userlog

@@ -74,6 +74,21 @@ class AdvertiseBatch:
 
 
 @dataclass(frozen=True)
+class InvalidateAd:
+    """A daemon retracts its ads (graceful leave).
+
+    A startd that is leaving the pool on purpose tells the matchmaker
+    immediately instead of letting its ads age out over ``ad_lifetime``
+    -- the difference between a machine that *said goodbye* and one that
+    vanished (crash-leave), whose stale ads cost a claim timeout per
+    match until they expire.
+    """
+
+    kind: str  # "machine" or "job"
+    names: tuple  # ad names to retract (every slot of an SMP)
+
+
+@dataclass(frozen=True)
 class MatchNotify:
     """The matchmaker tells a schedd about a compatible startd."""
 

@@ -184,6 +184,11 @@ def _build_default() -> ExceptionClassifier:
     c.register("condor", "HomeFilesystemOffline", ErrorScope.LOCAL_RESOURCE)
     c.register("condor", "ShadowDied", ErrorScope.LOCAL_RESOURCE)
     c.register("condor", "MatchmakerUnreachable", ErrorScope.POOL)
+    # Federation: one flock link dead is a pool-scope condition (that
+    # pool is invalid for this job, others may serve); every pool dead
+    # widens to grid scope -- the whole community is unreachable.
+    c.register("condor", "FlockLinkDown", ErrorScope.POOL)
+    c.register("condor", "GridUnreachable", ErrorScope.GRID)
     return c
 
 

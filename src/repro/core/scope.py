@@ -26,7 +26,12 @@ portion of the system each invalidates:
   (home file system offline): the job cannot run *right now*;
 - ``JOB`` -- the job itself is invalid (corrupt program image): it can
   never run anywhere;
-- ``POOL`` -- the whole pool is invalid (matchmaker gone).
+- ``POOL`` -- the whole pool is invalid (matchmaker gone);
+- ``GRID`` -- the pool-of-pools is invalid: the local pool *and* every
+  flocked remote pool are unreachable, so no schedd anywhere can place
+  the job.  A federated schedd masks POOL-scope errors by flocking the
+  job to another pool; only when that defense is exhausted does the
+  error widen to GRID scope and reach the user.
 
 Per the schedd's "last line of defense" (paper §4): PROGRAM scope means
 the job is complete; JOB scope means the job is unexecutable; anything in
@@ -53,6 +58,7 @@ class ErrorScope(enum.IntEnum):
     LOCAL_RESOURCE = 80
     JOB = 90
     POOL = 100
+    GRID = 110
 
     # -- containment ---------------------------------------------------
     def contains(self, other: "ErrorScope") -> bool:
@@ -120,6 +126,7 @@ _MANAGERS: dict[ErrorScope, str] = {
     ErrorScope.LOCAL_RESOURCE: "schedd",
     ErrorScope.JOB: "schedd",
     ErrorScope.POOL: "user",
+    ErrorScope.GRID: "user",
 }
 
 #: The chain of scope managers in the Java Universe, innermost first

@@ -11,12 +11,15 @@ comparison that detects Principle-1 violations.
 
 from repro.faults.faults import (
     BlackHole,
+    BlackHoleChurn,
     CorruptProgramImage,
     CredentialExpiry,
     Fault,
+    FlockLinkDown,
     HomeDiskFull,
     HomeFilesystemOffline,
     JvmBinaryMissing,
+    MachineChurn,
     MachineCrash,
     MemoryPressure,
     MisconfiguredJvm,
@@ -29,14 +32,17 @@ from repro.faults.injector import FaultInjector, Injection
 
 __all__ = [
     "BlackHole",
+    "BlackHoleChurn",
     "CorruptProgramImage",
     "CredentialExpiry",
     "Fault",
     "FaultInjector",
+    "FlockLinkDown",
     "HomeDiskFull",
     "HomeFilesystemOffline",
     "Injection",
     "JvmBinaryMissing",
+    "MachineChurn",
     "MachineCrash",
     "MemoryPressure",
     "MisconfiguredJvm",

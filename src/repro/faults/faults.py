@@ -13,6 +13,9 @@ JvmBinaryMissing               REMOTE_RESOURCE
 ScratchDiskFull                REMOTE_RESOURCE
 MachineCrash                   REMOTE_RESOURCE
 NetworkPartition (exec side)   REMOTE_RESOURCE
+MachineChurn                   REMOTE_RESOURCE
+FlockLinkDown                  POOL
+BlackHoleChurn                 REMOTE_RESOURCE
 MemoryPressure                 VIRTUAL_MACHINE
 HomeFilesystemOffline          LOCAL_RESOURCE
 CredentialExpiry               LOCAL_RESOURCE
@@ -31,12 +34,15 @@ from repro.remoteio.rpc import Credential
 
 __all__ = [
     "BlackHole",
+    "BlackHoleChurn",
     "CorruptProgramImage",
     "CredentialExpiry",
     "Fault",
+    "FlockLinkDown",
     "HomeDiskFull",
     "HomeFilesystemOffline",
     "JvmBinaryMissing",
+    "MachineChurn",
     "MachineCrash",
     "MemoryPressure",
     "MisconfiguredJvm",
@@ -233,6 +239,101 @@ class MachineCrash(Fault):
     def disarm(self, pool) -> None:
         pool.machines[self.site].boot()
         pool.net.set_host_down(self.site, down=False)
+
+
+@dataclass
+class MachineChurn(Fault):
+    """A machine leaves the pool mid-run and is parked for rejoin.
+
+    The churn counterpart of :class:`MachineCrash`: arming removes the
+    machine through the pool's churn lifecycle (graceful leave retracts
+    ads and evicts; crash-leave drops off the network mid-claim),
+    disarming rejoins it under the same name.  Ground truth is
+    remote-resource scope -- jobs caught on the leaver cannot run *on
+    that host*, and must retry elsewhere.
+    """
+
+    graceful: bool = False
+
+    def __init__(self, site: str, graceful: bool = False):
+        super().__init__("MachineChurn", ErrorScope.REMOTE_RESOURCE, site=site)
+        self.graceful = graceful
+
+    def arm(self, pool) -> None:
+        # Tolerate a combo cell where another churn fault already removed
+        # this machine: "already gone" satisfies the fault.
+        if self.site in pool.machines:
+            pool.remove_machine(self.site, graceful=self.graceful)
+
+    def disarm(self, pool) -> None:
+        if self.site in pool.parked:
+            pool.rejoin_machine(self.site)
+
+
+@dataclass
+class FlockLinkDown(Fault):
+    """Every flock link out of the pool's schedds goes dark.
+
+    Partitions each (submit host, flock target) pair, so flocked work
+    stalls and the schedd's link backoff engages.  Pool scope: the
+    *remote* pools are unreachable, the local one still serves.  On a
+    solitary pool with no flock links, arming is a no-op.
+    """
+
+    def __init__(self):
+        super().__init__("FlockLinkDown", ErrorScope.POOL)
+        self._cut: list[tuple[str, str]] = []
+
+    def arm(self, pool) -> None:
+        for schedd in pool.schedds.values():
+            for link in schedd.flock_links:
+                pair = (schedd.submit_host, link.host)
+                if pair not in self._cut:
+                    pool.net.partition(*pair)
+                    self._cut.append(pair)
+
+    def disarm(self, pool) -> None:
+        while self._cut:
+            pool.net.heal(*self._cut.pop())
+
+
+@dataclass
+class BlackHoleChurn(Fault):
+    """A black hole that churns: the machine's Java breaks *and* the
+    machine leaves and rejoins while broken.
+
+    The §5 stress case for backoff avoidance: a graceful leave wipes the
+    site's avoidance record (strike tables must not leak under churn),
+    so when the still-broken machine rejoins it is a *fresh* black hole
+    and the schedd must re-earn its strikes.  Disarming repairs the Java
+    installation; the startd's ``self_test_interval`` re-probe then
+    re-advertises the site.
+    """
+
+    downtime: float = 30.0
+
+    def __init__(self, site: str, downtime: float = 30.0):
+        super().__init__("BlackHoleChurn", ErrorScope.REMOTE_RESOURCE, site=site)
+        self.downtime = downtime
+        self._machine = None
+
+    def arm(self, pool) -> None:
+        self._machine = pool.machines.get(self.site) or pool.parked.get(self.site)
+        self._machine.java.classpath_ok = False
+        if self.site in pool.machines:
+            pool.remove_machine(self.site, graceful=True)
+
+        def _rejoin():
+            yield pool.sim.timeout(self.downtime)
+            # Another fault may have rejoined (or re-removed) it meanwhile.
+            if self.site in pool.parked:
+                pool.rejoin_machine(self.site)
+
+        pool.sim.spawn(_rejoin(), name=f"blackhole-churn-rejoin:{self.site}").defuse()
+
+    def disarm(self, pool) -> None:
+        if self._machine is not None:
+            self._machine.java.classpath_ok = True
 
 
 @dataclass

@@ -57,6 +57,8 @@ EXPERIMENTS: dict[str, tuple] = {
     "fair_share": (E.run_fair_share, True),
     "preemption": (E.run_preemption, True),
     "retry_sweep": (E.run_retry_sweep, True),
+    "churn": (E.run_churn, True),
+    "flocking": (E.run_flocking, True),
 }
 
 

@@ -47,6 +47,8 @@ __all__ = [
     "run_fair_share",
     "run_preemption",
     "run_retry_sweep",
+    "run_churn",
+    "run_flocking",
 ]
 
 MB = 2**20
@@ -1129,6 +1131,243 @@ def _final_submission(manager, job, configuration):
         if lineage.base is job:
             return lineage.accepted or lineage.submissions[-1]
     return job
+
+
+# ---------------------------------------------------------------------------
+# EXP-CHURN -- backoff avoidance vs a healing black hole, under churn (§5)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ChurnRow:
+    avoidance: str
+    completed: int
+    wasted_attempts: int
+    makespan: float
+    goodput_rate: float
+    churn_leaves: int
+    churn_joins: int
+    attempts_on_healed_site: int
+
+    @property
+    def readmitted(self) -> bool:
+        """Did the schedd use the site again after it was repaired?"""
+        return self.attempts_on_healed_site > 0
+
+
+@dataclass
+class ChurnResult:
+    rows: list[ChurnRow]
+    heal_at: float
+
+    def table(self) -> Table:
+        table = Table(
+            ["avoidance", "completed", "wasted executions", "makespan (s)",
+             "goodput rate", "churn leaves/joins", "attempts on healed site",
+             "re-admitted"],
+            title=f"EXP-CHURN: avoidance modes vs a black hole healed at "
+                  f"t={self.heal_at:g}, under machine churn",
+        )
+        for row in self.rows:
+            table.add_row([
+                row.avoidance, row.completed, row.wasted_attempts,
+                round(row.makespan, 1), round(row.goodput_rate, 4),
+                f"{row.churn_leaves}/{row.churn_joins}",
+                row.attempts_on_healed_site, row.readmitted,
+            ])
+        return table
+
+    def row(self, avoidance: str) -> ChurnRow:
+        for r in self.rows:
+            if r.avoidance == avoidance:
+                return r
+        raise KeyError(avoidance)
+
+
+def run_churn(
+    seed: int = 0,
+    n_jobs: int = 24,
+    n_machines: int = 4,
+    heal_at: float = 200.0,
+    mean_interval: float = 150.0,
+    mean_downtime: float = 60.0,
+) -> ChurnResult:
+    """§5 under churn: exec000 is a black hole that gets *repaired* at
+    ``heal_at``, while the other machines leave and rejoin the pool.
+
+    The permanent blacklist (the original §5 defense) never forgives the
+    repaired site, so it finishes the workload one machine short; backoff
+    avoidance re-admits it on probation and recovers the capacity.  The
+    `none` row shows the undefended cost: every probe of the (still
+    broken) black hole is a wasted execution.
+    """
+    from repro.condor.grid import ChurnGenerator
+    from repro.faults import BlackHole
+
+    modes = (
+        ("none", dict(schedd_avoidance=False)),
+        ("permanent", dict(schedd_avoidance=True, avoidance_mode="permanent")),
+        ("backoff", dict(schedd_avoidance=True, avoidance_mode="backoff")),
+    )
+    rows: list[ChurnRow] = []
+    for name, knobs in modes:
+        condor = CondorConfig(
+            error_mode="scoped",
+            avoidance_base=60.0,
+            avoidance_cap=480.0,
+            **knobs,
+        )
+        pool = Pool(PoolConfig(n_machines=n_machines, seed=seed, condor=condor))
+        injector = FaultInjector(pool)
+        injector.schedule(BlackHole("exec000"), at=0.0, until=heal_at)
+        # Churn everything except the black hole: removing it would wipe
+        # the avoidance record under test.
+        churn = ChurnGenerator(
+            pool,
+            pool.rngs.stream("churn"),
+            machines=tuple(
+                m for m in sorted(pool.machines) if m != "exec000"
+            ),
+            mean_interval=mean_interval,
+            mean_downtime=mean_downtime,
+            graceful_fraction=0.5,
+            min_alive=2,
+        )
+        rngs = RngRegistry(seed)
+        jobs = make_workload(
+            WorkloadSpec(n_jobs=n_jobs, io_fraction=0.0, exception_fraction=0.0,
+                         exit_code_fraction=0.0, mean_work=60.0),
+            rngs.stream("churn-workload"),
+        )
+        arrivals = rngs.stream("churn-arrivals")
+        when = 0.0
+        for job in jobs:
+            pool.submit_at(job, when)
+            when += arrivals.expovariate(1.0 / 8.0)
+        pool.run_until_done(max_time=500_000, expected_jobs=len(jobs))
+        metrics = collect_metrics(pool, jobs, injector)
+        healed_attempts = sum(
+            1
+            for job in jobs
+            for attempt in job.attempts
+            if attempt.site == "exec000" and attempt.started >= heal_at
+        )
+        rows.append(ChurnRow(
+            avoidance=name,
+            completed=metrics.completed,
+            wasted_attempts=metrics.wasted_attempts,
+            makespan=metrics.makespan,
+            goodput_rate=(
+                metrics.goodput_seconds / metrics.makespan
+                if metrics.makespan else 0.0
+            ),
+            churn_leaves=churn.leaves,
+            churn_joins=churn.joins,
+            attempts_on_healed_site=healed_attempts,
+        ))
+    return ChurnResult(rows, heal_at=heal_at)
+
+
+# ---------------------------------------------------------------------------
+# EXP-FLOCK -- flocking across pools (the grid above the pool)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FlockRow:
+    configuration: str
+    completed: int
+    jobs_flocked: int
+    remote_completions: int
+    flock_links_down: int
+    makespan: float
+    mean_turnaround: float
+
+
+@dataclass
+class FlockResult:
+    rows: list[FlockRow]
+
+    def table(self) -> Table:
+        table = Table(
+            ["configuration", "completed", "jobs flocked", "remote completions",
+             "flock links down", "makespan (s)", "mean turnaround (s)"],
+            title="EXP-FLOCK: overflow to a remote pool, and a flock link outage",
+        )
+        for row in self.rows:
+            table.add_row([
+                row.configuration, row.completed, row.jobs_flocked,
+                row.remote_completions, row.flock_links_down,
+                round(row.makespan, 1), round(row.mean_turnaround, 1),
+            ])
+        return table
+
+    def row(self, configuration: str) -> FlockRow:
+        for r in self.rows:
+            if r.configuration == configuration:
+                return r
+        raise KeyError(configuration)
+
+
+def run_flocking(
+    seed: int = 0,
+    n_jobs: int = 16,
+    home_machines: int = 2,
+    remote_machines: int = 4,
+    link_down_until: float = 200.0,
+) -> FlockResult:
+    """A saturated home pool next to an idle remote pool, three ways:
+    no flocking (the home pool grinds alone), flocking (idle jobs
+    overflow), and flocking through a link outage (the schedd's
+    exponential backoff rides it out, then overflow resumes)."""
+    from repro.condor.grid import Grid, GridConfig, GridPoolSpec
+    from repro.faults import FlockLinkDown
+
+    configurations = (
+        ("no flocking", False, False),
+        ("flocking", True, False),
+        ("flocking + link outage", True, True),
+    )
+    rows: list[FlockRow] = []
+    for name, flocking, outage in configurations:
+        condor = CondorConfig(error_mode="scoped", flock_after=30.0)
+        grid = Grid(GridConfig(
+            pools=(
+                GridPoolSpec("a", n_machines=home_machines),
+                GridPoolSpec("b", n_machines=remote_machines),
+            ),
+            seed=seed,
+            condor=condor,
+            flocking=flocking,
+        ))
+        injector = FaultInjector(grid)
+        if outage:
+            injector.schedule(FlockLinkDown(), at=0.0, until=link_down_until)
+        rngs = RngRegistry(seed)
+        jobs = make_workload(
+            WorkloadSpec(n_jobs=n_jobs, io_fraction=0.0, exception_fraction=0.0,
+                         exit_code_fraction=0.0, mean_work=60.0),
+            rngs.stream("flock"),
+        )
+        for job in jobs:
+            grid.submit(job)
+        grid.run_until_done(max_time=500_000, expected_jobs=len(jobs))
+        metrics = collect_metrics(grid, jobs, injector)
+        remote = sum(
+            1 for job in jobs
+            if job.state is JobState.COMPLETED
+            and job.attempts
+            and job.attempts[-1].site.startswith("b-")
+        )
+        links_down = sum(link.times_down for link in grid.schedd.flock_links)
+        rows.append(FlockRow(
+            configuration=name,
+            completed=metrics.completed,
+            jobs_flocked=grid.schedd.jobs_flocked,
+            remote_completions=remote,
+            flock_links_down=links_down,
+            makespan=metrics.makespan,
+            mean_turnaround=metrics.mean_turnaround,
+        ))
+    return FlockResult(rows)
 
 
 # ---------------------------------------------------------------------------

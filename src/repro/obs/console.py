@@ -33,6 +33,17 @@ _JOB_STATE = {
     "hold": "held",
 }
 
+#: events that feed the federation panel -> the row label shown there.
+_FEDERATION_EVENTS = {
+    "flock": "jobs flocked",
+    "flock_link_up": "flock links up",
+    "flock_link_down": "flock links down",
+    "grid_unreachable": "grid unreachable",
+    "machine_leave": "machines left",
+    "machine_join": "machines rejoined",
+    "site_avoided": "sites avoided",
+}
+
 
 class GridConsole:
     """Accumulates telemetry and renders an operator dashboard."""
@@ -41,6 +52,7 @@ class GridConsole:
         self.counts: dict[tuple[str, str], int] = {}
         self.job_states: dict[str, str] = {}
         self.error_hops: dict[str, int] = {}
+        self.federation: dict[str, int] = {}
         self.last_time = 0.0
         self.recent: deque[TelemetryEvent] = deque(maxlen=keep_last)
         #: sim-time attribution behind the "where time went" panel
@@ -62,6 +74,9 @@ class GridConsole:
         self.counts[key] = self.counts.get(key, 0) + 1
         self.last_time = max(self.last_time, event.time)
         self.recent.append(event)
+        label = _FEDERATION_EVENTS.get(event.name)
+        if label is not None:
+            self.federation[label] = self.federation.get(label, 0) + 1
         if event.topic is Topic.JOB:
             job = event.attr("job")
             state = _JOB_STATE.get(event.name)
@@ -86,6 +101,8 @@ class GridConsole:
         sections = [self._traffic_table(), self._jobs_table()]
         if self.profile.total_events:
             sections.append(self._time_table())
+        if self.federation:
+            sections.append(self._federation_table())
         if self.error_hops:
             sections.append(self._errors_table())
         if self.recent:
@@ -141,6 +158,13 @@ class GridConsole:
             )
         if total > 0:
             table.add_footer(f"total sim time {total:.1f}s")
+        return table.render()
+
+    def _federation_table(self) -> str:
+        table = Table(["event", "count"], title="federation")
+        for label in _FEDERATION_EVENTS.values():
+            if label in self.federation:
+                table.add_row([label, self.federation[label]])
         return table.render()
 
     def _errors_table(self) -> str:

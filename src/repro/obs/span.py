@@ -151,6 +151,10 @@ class SpanBuilder:
             if phase is not None:
                 self._close(phase, t, status="site_failed")
             self._job_phase[job_id] = self._open("queued", "phase", t, parent=root)
+        elif name == "flock":
+            # The job's ad crossed a pool boundary; record the hop on the
+            # journey root without disturbing the phase machine.
+            root.attrs["flocked"] = event.attr("target")
         elif name in ("result", "hold"):
             status = "completed" if name == "result" else "held"
             if phase is not None:

@@ -40,7 +40,12 @@ class TestScopedCampaignIsClean:
             for record in report["cells"]
             for injection in record["injections"]
         }
-        assert swept == {info.kind for info in CATALOGUE}
+        # Federation-only kinds need a grid; a solitary-pool campaign
+        # sweeps everything else.
+        assert swept == {
+            info.kind for info in CATALOGUE if not info.needs_federation
+        }
+        assert "FlockLinkDown" not in swept
 
 
 class TestClassicCampaignDetectsTheCollapse:

@@ -16,8 +16,10 @@ class TestEnumeration:
     def test_singles_cover_kind_x_window_minus_undisarmable(self):
         config = CampaignConfig()
         cells = enumerate_cells(config)
-        disarmable = sum(1 for info in CATALOGUE if info.disarmable)
-        fixed = len(CATALOGUE) - disarmable
+        # Federation-only kinds are excluded from a solitary-pool matrix.
+        swept = [info for info in CATALOGUE if not info.needs_federation]
+        disarmable = sum(1 for info in swept if info.disarmable)
+        fixed = len(swept) - disarmable
         expected = disarmable * len(config.windows) + fixed
         assert len(cells) == expected
         assert all(len(cell.injections) == 1 for cell in cells)
@@ -40,7 +42,9 @@ class TestEnumeration:
         config = CampaignConfig(max_order=2)
         singles = [c for c in enumerate_cells(config) if len(c.injections) == 1]
         combos = [c for c in enumerate_cells(config) if len(c.injections) == 2]
-        n_kinds = len(CATALOGUE)
+        # Combos draw from the solitary-pool kinds only (federation-only
+        # kinds never reach a default matrix).
+        n_kinds = sum(1 for info in CATALOGUE if not info.needs_federation)
         assert len(combos) == n_kinds * (n_kinds - 1) // 2
         assert len(singles) + len(combos) == len(enumerate_cells(config))
         for cell in combos:

@@ -14,6 +14,7 @@ def test_total_order_matches_paper():
     assert ErrorScope.VIRTUAL_MACHINE < ErrorScope.CLUSTER < ErrorScope.REMOTE_RESOURCE
     assert ErrorScope.REMOTE_RESOURCE < ErrorScope.LOCAL_RESOURCE < ErrorScope.JOB
     assert ErrorScope.JOB < ErrorScope.POOL
+    assert ErrorScope.POOL < ErrorScope.GRID  # the pool-of-pools, above §3's ladder
 
 
 def test_contains_is_order():
@@ -93,6 +94,7 @@ def test_managing_programs_follow_figure_3():
     assert ErrorScope.LOCAL_RESOURCE.managing_program == "schedd"
     assert ErrorScope.JOB.managing_program == "schedd"
     assert ErrorScope.POOL.managing_program == "user"
+    assert ErrorScope.GRID.managing_program == "user"
 
 
 @given(scopes)

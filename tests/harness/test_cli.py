@@ -170,3 +170,20 @@ class TestProfileFlag:
             assert main(["fig3", "--profile", str(path)]) == 0
             reports.append(strip_wall(json.loads(path.read_text())))
         assert reports[0] == reports[1]
+
+
+def test_federation_experiments_parallel_byte_identical():
+    """The PR's determinism acceptance: the churn and flocking
+    experiments export byte-identical JSON whether run serially or
+    fanned out over worker processes (wall clock stays out of ``data``)."""
+    import json
+
+    from repro.harness.__main__ import run_experiments
+
+    names = ["churn", "flocking"]
+    serial = run_experiments(names, seed=0, jobs=1)
+    fanned = run_experiments(names, seed=0, jobs=4)
+    blob = lambda records: json.dumps(
+        {r["name"]: r["data"] for r in records}, sort_keys=True
+    )
+    assert blob(serial) == blob(fanned)

@@ -222,3 +222,50 @@ class TestPreemptionExperiment:
         assert ckpt.boss_turnaround < none.boss_turnaround
         assert ckpt.peon_steps_executed < raw.peon_steps_executed
         assert none.evictions == 0 and ckpt.evictions >= 1
+
+
+class TestChurnExperiment:
+    def test_backoff_beats_permanent_beats_none(self):
+        result = E.run_churn()
+        none = result.row("none")
+        permanent = result.row("permanent")
+        backoff = result.row("backoff")
+        # Everyone finishes the workload eventually...
+        assert none.completed == permanent.completed == backoff.completed
+        # ...but the undefended pool wastes the most executions probing
+        # the black hole, and the permanent blacklist never gets the
+        # repaired machine back, so backoff wins on makespan.
+        assert none.wasted_attempts > backoff.wasted_attempts
+        assert backoff.makespan < permanent.makespan < none.makespan
+        assert backoff.goodput_rate > permanent.goodput_rate
+
+    def test_only_backoff_readmits_the_healed_site(self):
+        result = E.run_churn()
+        assert result.row("backoff").readmitted
+        assert not result.row("permanent").readmitted
+
+    def test_churn_actually_happened(self):
+        result = E.run_churn()
+        for row in result.rows:
+            assert row.churn_leaves > 0
+            assert row.churn_joins > 0
+
+
+class TestFlockingExperiment:
+    def test_flocking_recruits_the_remote_pool(self):
+        result = E.run_flocking()
+        solitary = result.row("no flocking")
+        flocked = result.row("flocking")
+        assert solitary.jobs_flocked == 0 and solitary.remote_completions == 0
+        assert flocked.jobs_flocked > 0 and flocked.remote_completions > 0
+        assert flocked.completed == solitary.completed
+        assert flocked.makespan < solitary.makespan
+
+    def test_link_outage_recovers_between_the_extremes(self):
+        result = E.run_flocking()
+        outage = result.row("flocking + link outage")
+        assert outage.flock_links_down >= 1  # the outage was detected
+        assert outage.jobs_flocked > 0  # and survived via backoff re-probe
+        assert (result.row("flocking").makespan
+                < outage.makespan
+                < result.row("no flocking").makespan)

@@ -33,6 +33,7 @@ PUBLIC_MODULES = [
     "repro.condor.classads.lexer",
     "repro.condor.classads.parser",
     "repro.condor.daemons",
+    "repro.condor.daemons.avoidance",
     "repro.condor.daemons.config",
     "repro.condor.daemons.match_index",
     "repro.condor.daemons.matchmaker",
@@ -40,6 +41,7 @@ PUBLIC_MODULES = [
     "repro.condor.daemons.shadow",
     "repro.condor.daemons.startd",
     "repro.condor.daemons.starter",
+    "repro.condor.grid",
     "repro.condor.job",
     "repro.condor.pool",
     "repro.condor.protocols",
