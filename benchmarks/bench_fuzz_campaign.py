@@ -1,0 +1,48 @@
+"""EXP-FUZZ -- the coverage-guided fuzz campaign, end to end.
+
+Not a paper figure: the throughput/determinism check for the
+:mod:`repro.campaign.fuzz` explorer.  One classic-mode campaign at the
+acceptance settings (seed 7, 200-cell budget) runs to completion each
+round; the sim-side record pins the discovery trajectory -- where the
+first violation landed, when all four principles were covered, how many
+distinct signatures and coverage features the budget bought, and the
+deepest 1-minimal reproducer order the signature-preserving shrinker
+confirmed.  Any drift in mutation scheduling, probe ordering, or
+coverage accounting moves these numbers and fails the baseline compare;
+the wall-time trajectory tracks the explorer's cost per cell.
+
+Cases:
+
+- ``test_fuzz_campaign_acceptance``: the full seed-7 campaign with
+  shrinking; must cover all principles >= 10x earlier than the 103-cell
+  exhaustive order-2 sweep and surface an order-3 1-minimal reproducer.
+"""
+
+from repro.campaign.fuzz import FuzzConfig, run_fuzz
+from repro.campaign.spec import CampaignConfig
+
+
+def _acceptance_campaign():
+    return run_fuzz(FuzzConfig(
+        campaign=CampaignConfig(mode="classic", seed=7),
+        budget_cells=200,
+    ))
+
+
+def test_fuzz_campaign_acceptance(benchmark):
+    report = benchmark.pedantic(_acceptance_campaign, rounds=3, iterations=1)
+    totals = report["totals"]
+    violations = report["violations"]
+    assert totals["cells"] == 200
+    assert violations["principles"] == [1, 2, 3, 4]
+    # >= 10x fewer cells than the 103-cell exhaustive order-2 sweep
+    assert violations["all_principles_at"] * 10 <= 103
+    assert totals["max_minimal_order"] >= 3
+    print()
+    print(f"first violation at cell {violations['first_violation_at']}, "
+          f"all principles at cell {violations['all_principles_at']}")
+    print(f"{totals['distinct_violations']} distinct violations, "
+          f"{totals['features']} coverage features, "
+          f"corpus {totals['corpus']}, {totals['probe_cells']} probe cells, "
+          f"{len(report['reproducers'])} reproducers "
+          f"(deepest 1-minimal: order {totals['max_minimal_order']})")

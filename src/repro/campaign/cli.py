@@ -10,11 +10,18 @@ Examples::
     python -m repro.harness campaign --fail-fast --mode scoped
     python -m repro.harness campaign --profile --kinds MachineCrash
     python -m repro.harness campaign --replay reproducer.json
+    python -m repro.harness campaign fuzz --mode classic --seed 7 \\
+        --budget-cells 200
+    python -m repro.harness campaign fuzz --resume checkpoint.json
 
 ``--json`` writes the canonical campaign report (wall clock never enters
 it, so same-seed runs are byte-identical regardless of ``--jobs``).
 ``--replay`` re-runs a shrunken reproducer spec and exits 0 only if the
-expected violations reproduce exactly.
+expected violations reproduce exactly.  The ``fuzz`` subcommand swaps
+exhaustive enumeration for the coverage-guided explorer
+(:mod:`repro.campaign.fuzz`): same determinism contract, a budget
+instead of a matrix, and ``--checkpoint``/``--resume`` for campaigns
+long enough to interrupt.
 """
 
 from __future__ import annotations
@@ -23,17 +30,102 @@ import argparse
 import time
 
 from repro.campaign.engine import run_campaign
-from repro.campaign.report import render_cell_profiles, render_summary
+from repro.campaign.report import render_cell_profiles, render_fuzz_summary, render_summary
 from repro.campaign.shrink import replay
 from repro.campaign.spec import CATALOGUE, CampaignConfig
 from repro.harness.parallel import WorkerFailure, positive_worker_count
 from repro.obs.export import dump_json
 from repro.obs.sanitize import PrincipleViolationError
 
-__all__ = ["main"]
+__all__ = ["fuzz_main", "main"]
+
+
+def fuzz_main(argv: list[str] | None = None) -> int:
+    from repro.campaign.fuzz import FuzzConfig, load_checkpoint, run_fuzz
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness campaign fuzz",
+        description="Explore the fault space coverage-guided instead of "
+                    "exhaustively; audit every cell for P1-P4.",
+    )
+    parser.add_argument("--mode", default="scoped",
+                        choices=("scoped", "naive", "classic"),
+                        help="error handling under test (classic = naive)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=positive_worker_count, default=1, metavar="N",
+                        help="run each batch over N worker processes")
+    parser.add_argument("--budget-cells", type=int, default=200, metavar="B",
+                        help="total cells the campaign may execute")
+    parser.add_argument("--batch-size", type=int, default=16, metavar="K",
+                        help="cells proposed per generation")
+    parser.add_argument("--order-max", type=int, default=3, metavar="K",
+                        help="maximum simultaneous faults per mutated cell")
+    parser.add_argument("--kinds", default=None, metavar="A,B,...",
+                        help="restrict the catalogue to these fault kinds")
+    parser.add_argument("--federation", action="store_true",
+                        help="run every cell against a two-pool flocking grid "
+                             "(enables federation-only fault kinds)")
+    parser.add_argument("--defenses", action="store_true",
+                        help="turn on the §5 defenses in every cell")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the fuzz report as canonical JSON")
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="write the full campaign state there after "
+                             "every batch (for --resume)")
+    parser.add_argument("--resume", metavar="PATH", default=None,
+                        help="pick a campaign up from a checkpoint file "
+                             "(its config wins; other flags are rejected "
+                             "if they disagree)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip minimizing a reproducer per violation")
+    args = parser.parse_args(argv)
+
+    resume_state = None
+    if args.resume is not None:
+        config, resume_state = load_checkpoint(args.resume)
+    else:
+        if args.budget_cells < 1:
+            parser.error("--budget-cells must be >= 1")
+        if args.batch_size < 1:
+            parser.error("--batch-size must be >= 1")
+        if args.order_max < 1:
+            parser.error("--order-max must be >= 1")
+        kinds = None if args.kinds is None else tuple(
+            k for k in args.kinds.split(",") if k
+        )
+        config = FuzzConfig(
+            campaign=CampaignConfig(
+                mode=args.mode,
+                seed=args.seed,
+                kinds=kinds,
+                federation=args.federation,
+                defenses=args.defenses,
+            ),
+            budget_cells=args.budget_cells,
+            batch_size=args.batch_size,
+            order_max=args.order_max,
+        )
+    started = time.perf_counter()
+    try:
+        report = run_fuzz(
+            config,
+            jobs=args.jobs,
+            shrink=not args.no_shrink,
+            checkpoint=args.checkpoint,
+            resume=resume_state,
+        )
+    except WorkerFailure as exc:
+        raise SystemExit(f"fuzz worker failed: {exc}") from exc
+    print(render_fuzz_summary(report))
+    print(f"wall clock {time.perf_counter() - started:.3f}s")
+    if args.json:
+        dump_json(args.json, report)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness campaign",
         description="Sweep the fault catalogue and audit every cell for P1-P4.",

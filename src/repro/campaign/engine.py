@@ -23,6 +23,7 @@ replayable reproducer specs.
 from __future__ import annotations
 
 import functools
+from dataclasses import dataclass
 
 from repro.campaign.spec import CampaignConfig, CellSpec, build_fault, enumerate_cells
 from repro.condor import JobState, Pool, PoolConfig
@@ -34,14 +35,78 @@ from repro.harness.workloads import WorkloadSpec, make_workload
 from repro.jvm.program import Step
 from repro.obs.profile import SimTimeProfiler
 from repro.obs.sanitize import PrincipleSanitizer
+from repro.obs.span import SpanBuilder
 from repro.sim.rng import RngRegistry
 
-__all__ = ["run_campaign", "run_cell_record"]
+__all__ = ["CellError", "campaign_section", "run_campaign", "run_cell_record"]
+
+
+def campaign_section(config: CampaignConfig) -> dict:
+    """The JSON-ready header shared by campaign and fuzz reports."""
+    return {
+        "mode": config.mode,
+        "seed": config.seed,
+        "n_jobs": config.n_jobs,
+        "n_machines": config.n_machines,
+        "max_order": config.max_order,
+        "max_retries": config.max_retries,
+        "max_time": config.max_time,
+        "windows": [list(window) for window in config.windows],
+        "kinds": None if config.kinds is None else list(config.kinds),
+        "sites": list(config.sites),
+        "job_indices": list(config.job_indices),
+        "federation": config.federation,
+        "defenses": config.defenses,
+    }
 
 MB = 2**20
 
 #: Attribution triples kept per cell record when profiling is on.
 PROFILE_TOP_N = 8
+
+
+@dataclass(frozen=True)
+class CellError:
+    """A cell that raised instead of completing, as structured data.
+
+    ``stage`` distinguishes a cell that could not even be *built*
+    (unknown site, out-of-range job index -- "setup") from one whose
+    simulation or audit raised ("simulate").  The distinction matters to
+    the fuzzer: a setup error marks an invalid corner of the mutation
+    space, a simulation error is a defect worth a bug report either way.
+    """
+
+    stage: str  # "setup" | "simulate"
+    type: str
+    message: str
+
+    def as_dict(self) -> dict:
+        return {"stage": self.stage, "type": self.type, "message": self.message}
+
+
+def _cell_error_record(cell: CellSpec, error: CellError, features: bool) -> dict:
+    """The normalized record of a cell that raised.
+
+    Carries every field a successful record carries -- in particular the
+    full ``injections`` list, so a report row for a broken cell still
+    names the faults that broke it -- plus the structured ``error``.
+    """
+    record = {
+        "cell": cell.cell_id,
+        "mode": cell.mode,
+        "seed": cell.seed,
+        "injections": [spec.as_dict() for spec in cell.injections],
+        "jobs": {"total": 0, "completed": 0, "held": 0, "unfinished": 0},
+        "makespan": 0.0,
+        "violations": [],
+        "live_violations": [],
+        "live_matches_posthoc": True,
+        "profile": None,
+        "error": error.as_dict(),
+    }
+    if features:
+        record["signature"] = [f"cell-error:{error.stage}:{error.type}"]
+    return record
 
 
 def _violation_dict(violation: Violation) -> dict:
@@ -56,7 +121,13 @@ def _violation_key(record: dict) -> tuple:
     return (record["principle"], record["subject"], record["description"])
 
 
-def run_cell_record(cell: CellSpec, config: CampaignConfig, profile: bool = False) -> dict:
+def run_cell_record(
+    cell: CellSpec,
+    config: CampaignConfig,
+    profile: bool = False,
+    features: bool = False,
+    on_error: str = "raise",
+) -> dict:
     """Run one cell; return its JSON-ready record.
 
     Deterministic in (cell, config) alone: the pool, workload and
@@ -65,7 +136,35 @@ def run_cell_record(cell: CellSpec, config: CampaignConfig, profile: bool = Fals
     With *profile*, a :class:`~repro.obs.profile.SimTimeProfiler` rides
     the pool's bus and the record gains a ``profile`` section -- pure
     sim-time attribution, so it stays inside the determinism contract.
+    With *features*, a :class:`~repro.obs.span.SpanBuilder` rides the
+    bus too and the record gains the cell's coverage ``signature``
+    (:func:`repro.obs.signature.signature`), the fuzzer's feedback.
+
+    ``on_error`` decides what a raising cell becomes.  The default
+    re-raises (the exhaustive campaign's contract: a broken cell aborts
+    the sweep as an explicit :class:`~repro.harness.parallel.WorkerFailure`).
+    ``on_error="record"`` instead returns a normalized :class:`CellError`
+    record -- same fields as a successful record, ``error`` filled in --
+    so one wild mutant cannot kill a fuzzing campaign.
     """
+    stage = ["setup"]
+    try:
+        return _run_cell(cell, config, profile, features, stage)
+    except Exception as exc:  # noqa: BLE001 - normalized or re-raised below
+        if on_error != "record":
+            raise
+        return _cell_error_record(
+            cell, CellError(stage[0], type(exc).__name__, str(exc)), features
+        )
+
+
+def _run_cell(
+    cell: CellSpec,
+    config: CampaignConfig,
+    profile: bool,
+    features: bool,
+    stage: list,
+) -> dict:
     registry: list = []
     defense_knobs = (
         dict(
@@ -113,6 +212,7 @@ def run_cell_record(cell: CellSpec, config: CampaignConfig, profile: bool = Fals
 
     injector = FaultInjector(pool)
     profiler = SimTimeProfiler(pool.bus) if profile else None
+    spans = SpanBuilder(pool.bus) if features else None
     sanitizer = PrincipleSanitizer(
         pool.bus, injector=injector, jobs=jobs, fail_fast=config.fail_fast
     )
@@ -125,8 +225,11 @@ def run_cell_record(cell: CellSpec, config: CampaignConfig, profile: bool = Fals
     for spec in cell.injections:
         injector.schedule(build_fault(spec, pool, jobs), at=spec.at, until=spec.until)
 
+    stage[0] = "simulate"
     pool.run_until_done(max_time=config.max_time, expected_jobs=len(jobs))
     sanitizer.detach()
+    if spans is not None:
+        spans.detach()
     if profiler is not None:
         profiler.detach()
     if sanitizer.failure is not None:
@@ -152,7 +255,7 @@ def run_cell_record(cell: CellSpec, config: CampaignConfig, profile: bool = Fals
             "sim_time": snapshot["sim_time"],
             "top": snapshot["triples"][:PROFILE_TOP_N],
         }
-    return {
+    record = {
         "cell": cell.cell_id,
         "mode": cell.mode,
         "seed": cell.seed,
@@ -170,7 +273,15 @@ def run_cell_record(cell: CellSpec, config: CampaignConfig, profile: bool = Fals
             sorted(map(_violation_key, posthoc)) == sorted(map(_violation_key, live))
         ),
         "profile": cell_profile,
+        "error": None,
     }
+    if spans is not None:
+        from repro.obs.signature import signature
+
+        record["signature"] = list(
+            signature(posthoc, spans.spans, [job.state.name for job in jobs])
+        )
+    return record
 
 
 def run_campaign(
@@ -209,21 +320,7 @@ def run_campaign(
         for violation in record["violations"]:
             by_principle[f"P{violation['principle']}"] += 1
     return {
-        "campaign": {
-            "mode": config.mode,
-            "seed": config.seed,
-            "n_jobs": config.n_jobs,
-            "n_machines": config.n_machines,
-            "max_order": config.max_order,
-            "max_retries": config.max_retries,
-            "max_time": config.max_time,
-            "windows": [list(window) for window in config.windows],
-            "kinds": None if config.kinds is None else list(config.kinds),
-            "sites": list(config.sites),
-            "job_indices": list(config.job_indices),
-            "federation": config.federation,
-            "defenses": config.defenses,
-        },
+        "campaign": campaign_section(config),
         "cells": records,
         "totals": {
             "cells": len(records),

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.harness.report import Table
 
-__all__ = ["render_cell_profiles", "render_summary"]
+__all__ = ["render_cell_profiles", "render_fuzz_summary", "render_summary"]
 
 
 def _principle_counts(violations: list[dict]) -> dict[int, int]:
@@ -59,6 +59,74 @@ def render_summary(report: dict) -> str:
         table.add_footer(
             f"WARNING: {totals['live_mismatches']} cell(s) where live and "
             f"post-hoc verdicts disagree"
+        )
+    return table.render()
+
+
+def render_fuzz_summary(report: dict) -> str:
+    """The fuzzing-campaign summary for the console.
+
+    A fuzz report carries hundreds of cells, most of them boring by
+    construction (no novel coverage), so the table shows the campaign's
+    *discoveries* -- one row per distinct violation signature with the
+    cell budget spent reaching it and the 1-minimal reproducer order --
+    instead of one row per cell.
+    """
+    campaign = report["campaign"]
+    totals = report["totals"]
+    table = Table(
+        ["violation signature", "found at cell", "order", "minimal orders"],
+        title=(
+            f"fuzz campaign: mode={campaign['mode']} seed={campaign['seed']} "
+            f"({totals['cells']} cells, {totals['batches']} batches)"
+        ),
+    )
+    minimal_orders: dict[str, list[int]] = {}
+    for repro in report["reproducers"]:
+        minimal_orders.setdefault(repro["signature"], []).append(repro["order"])
+    signatures = sorted(
+        report["violations"]["signatures"].items(),
+        key=lambda item: (item[1]["cells_executed"], item[0]),
+    )
+    for feature, found in signatures:
+        # "viol:P3:subject:description" -> "P3 subject: description"
+        _, principle, rest = feature.split(":", 2)
+        orders = sorted(set(minimal_orders.get(feature, [])))
+        table.add_row([
+            f"{principle} {rest.replace(':', ': ', 1)}",
+            found["cells_executed"],
+            found["order"],
+            ",".join(map(str, orders)) if orders else "-",
+        ])
+    by_principle = totals["by_principle"]
+    table.add_footer(
+        f"{totals['distinct_violations']} distinct violations "
+        f"({totals['violations']} raw) in "
+        f"{totals['cells_with_violations']}/{totals['cells']} cells  "
+        + "  ".join(f"{p}={by_principle[p]}" for p in ("P1", "P2", "P3", "P4"))
+    )
+    table.add_footer(
+        f"coverage: {totals['features']} features, corpus {totals['corpus']} "
+        f"cells, {len(report['reproducers'])} reproducers "
+        f"(deepest 1-minimal: order {totals['max_minimal_order']})"
+    )
+    first = report["violations"]["first_violation_at"]
+    everything = report["violations"]["all_principles_at"]
+    table.add_footer(
+        "first violation at cell "
+        + ("-" if first is None else str(first))
+        + ", all principles at cell "
+        + ("-" if everything is None else str(everything))
+    )
+    if totals["live_mismatches"]:
+        table.add_footer(
+            f"WARNING: {totals['live_mismatches']} cell(s) where live and "
+            f"post-hoc verdicts disagree"
+        )
+    if totals["errors"]:
+        table.add_footer(
+            f"note: {totals['errors']} cell(s) errored and were recorded "
+            f"as cell-error signatures"
         )
     return table.render()
 

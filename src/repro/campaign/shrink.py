@@ -73,22 +73,36 @@ def ddmin(
     return items
 
 
-def minimize_cell(cell: CellSpec, config: CampaignConfig) -> dict:
+def minimize_cell(
+    cell: CellSpec,
+    config: CampaignConfig,
+    keep: Callable[[dict], bool] | None = None,
+) -> dict:
     """Shrink *cell*'s injections; return the confirmed reproducer spec.
 
-    The predicate is "this injection subset still produces at least one
-    violation"; the final spec records the minimal cell's own violation
-    set (which the replay check compares against), not the original
-    cell's -- subjects can shift as injections drop out.
+    The default predicate is "this injection subset still produces at
+    least one violation"; the final spec records the minimal cell's own
+    violation set (which the replay check compares against), not the
+    original cell's -- subjects can shift as injections drop out.
+
+    *keep* overrides the predicate with any judgement over the probe
+    cell's full record.  The fuzzer passes "still produces *this*
+    violation signature", which is what makes an order-3-only violation
+    shrink to a 1-minimal *order-3* reproducer instead of collapsing
+    onto whichever single fault violates something else first.
     """
     from repro.campaign.engine import run_cell_record
 
-    def violations_of(injections: Sequence[FaultSpec]) -> list[dict]:
+    def record_of(injections: Sequence[FaultSpec]) -> dict:
         probe = cell.with_injections(tuple(injections))
-        return run_cell_record(probe, config)["violations"]
+        return run_cell_record(probe, config)
 
-    minimal = ddmin(cell.injections, lambda subset: bool(violations_of(subset)))
-    confirmed = violations_of(minimal)  # the confirmation run
+    def fails(injections: Sequence[FaultSpec]) -> bool:
+        record = record_of(injections)
+        return keep(record) if keep is not None else bool(record["violations"])
+
+    minimal = ddmin(cell.injections, fails)
+    confirmed = record_of(minimal)["violations"]  # the confirmation run
     return {
         "format": FORMAT,
         "cell": cell.with_injections(minimal).cell_id,

@@ -147,6 +147,28 @@ class CellSpec:
             injections=injections,
         )
 
+    @property
+    def order(self) -> int:
+        """The cell's fault order (number of simultaneous injections)."""
+        return len(self.injections)
+
+    def as_dict(self) -> dict:
+        return {
+            "cell_id": self.cell_id,
+            "mode": self.mode,
+            "seed": self.seed,
+            "injections": [spec.as_dict() for spec in self.injections],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> CellSpec:
+        return cls(
+            cell_id=str(data["cell_id"]),
+            mode=str(data["mode"]),
+            seed=int(data["seed"]),
+            injections=tuple(FaultSpec.from_dict(d) for d in data["injections"]),
+        )
+
 
 @dataclass(frozen=True)
 class CampaignConfig:

@@ -160,6 +160,25 @@ class ParallelRunner:
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
         self.timeout = timeout
+        #: Used as a context manager, the runner keeps one process pool
+        #: alive across ``map`` calls -- batched drivers (the fuzzer's
+        #: batch loop) would otherwise pay pool start-up per batch.
+        self._persistent = False
+        self._executor: concurrent.futures.ProcessPoolExecutor | None = None
+
+    # -- persistent-pool session ----------------------------------------
+    def __enter__(self) -> ParallelRunner:
+        self._persistent = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._persistent = False
+        self._discard_executor(wait=True)
+
+    def _discard_executor(self, wait: bool) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait, cancel_futures=not wait)
+            self._executor = None
 
     # -- public ----------------------------------------------------------
     def map(self, items: Sequence[Any]) -> list[ItemResult]:
@@ -190,7 +209,16 @@ class ParallelRunner:
     def _parallel(self, items: list[Any]) -> list[ItemResult]:
         shards = shard_items(items, self.workers)
         try:
-            executor = concurrent.futures.ProcessPoolExecutor(max_workers=len(shards))
+            if self._persistent:
+                if self._executor is None:
+                    self._executor = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=self.workers
+                    )
+                executor = self._executor
+            else:
+                executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=len(shards)
+                )
         except (OSError, ValueError, RuntimeError):
             # The pool cannot start (fork refused, resource limits):
             # serial is always a correct answer.
@@ -219,11 +247,16 @@ class ParallelRunner:
                 for item, value, seconds in rows:
                     collected[item] = (value, seconds)
         except WorkerFailure:
-            # Do not block on still-running siblings of a failed worker.
-            executor.shutdown(wait=False, cancel_futures=True)
+            # Do not block on still-running siblings of a failed worker;
+            # a persistent pool is discarded too (it may be broken).
+            if self._persistent:
+                self._discard_executor(wait=False)
+            else:
+                executor.shutdown(wait=False, cancel_futures=True)
             raise
         else:
-            executor.shutdown(wait=True)
+            if not self._persistent:
+                executor.shutdown(wait=True)
         # Canonical-order merge; any hole is an explicit error, never a
         # silently shorter result list.
         missing = [item for item in items if item not in collected]

@@ -52,6 +52,7 @@ from repro.obs.profile import (
     render_profile,
 )
 from repro.obs.sanitize import PrincipleSanitizer, PrincipleViolationError
+from repro.obs.signature import normalize_violation, signature, violation_features
 from repro.obs.span import Span, SpanBuilder
 
 __all__ = [
@@ -76,7 +77,10 @@ __all__ = [
     "folded_stacks",
     "install_ambient",
     "install_wall",
+    "normalize_violation",
     "profile_report",
     "render_profile",
+    "signature",
     "to_jsonable",
+    "violation_features",
 ]

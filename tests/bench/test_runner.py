@@ -64,12 +64,13 @@ class TestDiscovery:
     def test_discovers_the_committed_suite(self):
         paths = discover("benchmarks")
         names = [bench_name(p) for p in paths]
-        assert len(names) == 20
+        assert len(names) == 21
         assert names == sorted(names)
         assert "sim_engine" in names and "fig3_scopes" in names
         assert "scale_pool" in names
         assert "service_load" in names
         assert "churn_federation" in names
+        assert "fuzz_campaign" in names
 
     def test_collect_expands_parametrize(self, tmp_path):
         cases = collect_cases(_write_tiny(tmp_path))

@@ -88,3 +88,40 @@ def test_bad_jobs_rejected():
 def test_bad_order_rejected():
     with pytest.raises(SystemExit):
         campaign_main(["--order", "0"])
+
+
+FUZZ_FAST = ["fuzz", "--mode", "classic", "--seed", "7",
+             "--budget-cells", "16", "--batch-size", "8"]
+
+
+def test_harness_dispatches_fuzz_subcommand(capsys):
+    assert harness_main(["campaign", *FUZZ_FAST, "--no-shrink"]) == 0
+    out = capsys.readouterr().out
+    assert "fuzz campaign: mode=classic seed=7" in out
+    assert "wall clock" in out
+
+
+def test_fuzz_json_report_is_written_and_canonical(tmp_path, capsys):
+    path = tmp_path / "fuzz.json"
+    assert campaign_main(
+        FUZZ_FAST + ["--no-shrink", "--json", str(path)]
+    ) == 0
+    report = json.loads(path.read_text())
+    assert report["format"] == "repro-campaign-fuzz/1"
+    assert report["totals"]["cells"] == 16
+    assert "wall" not in path.read_text()
+
+
+def test_fuzz_resume_from_cli_checkpoint(tmp_path, capsys):
+    ckpt = tmp_path / "ckpt.json"
+    assert campaign_main(
+        FUZZ_FAST + ["--no-shrink", "--checkpoint", str(ckpt)]
+    ) == 0
+    # a finished checkpoint resumes into an already-exhausted budget
+    assert campaign_main(["fuzz", "--resume", str(ckpt), "--no-shrink"]) == 0
+    assert "fuzz campaign: mode=classic seed=7" in capsys.readouterr().out
+
+
+def test_fuzz_bad_budget_rejected():
+    with pytest.raises(SystemExit):
+        campaign_main(["fuzz", "--budget-cells", "0"])

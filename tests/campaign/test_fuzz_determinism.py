@@ -1,0 +1,93 @@
+"""The fuzzer's determinism contract, byte for byte.
+
+Same seed and budget must produce the identical report whether the
+cells run serially, fan out over worker processes, or the campaign is
+interrupted at a checkpoint and resumed -- the same guarantee the
+exhaustive campaign gives (DESIGN.md §6), extended to the fuzzer's
+corpus/coverage/probe state.
+"""
+
+import pytest
+
+from repro.campaign.fuzz import FuzzConfig, load_checkpoint, run_fuzz
+from repro.campaign.spec import CampaignConfig
+from repro.obs.export import dump_json
+
+
+def _config(budget=40):
+    return FuzzConfig(
+        campaign=CampaignConfig(mode="classic", seed=7),
+        budget_cells=budget,
+        batch_size=8,
+    )
+
+
+def _dump(tmp_path, name, report) -> bytes:
+    path = tmp_path / name
+    dump_json(path, report)
+    return path.read_bytes()
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    return run_fuzz(_config())
+
+
+class TestByteIdentity:
+    def test_same_seed_twice_is_identical(self, serial_report, tmp_path):
+        again = run_fuzz(_config())
+        assert _dump(tmp_path, "a.json", serial_report) == _dump(
+            tmp_path, "b.json", again
+        )
+
+    def test_serial_equals_jobs_4(self, serial_report, tmp_path):
+        parallel = run_fuzz(_config(), jobs=4)
+        assert _dump(tmp_path, "serial.json", serial_report) == _dump(
+            tmp_path, "parallel.json", parallel
+        )
+
+    def test_resume_from_checkpoint_is_identical(self, serial_report, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        run_fuzz(_config(), shrink=False, checkpoint=str(ckpt),
+                 stop_after_batch=2)
+        config, data = load_checkpoint(str(ckpt))
+        resumed = run_fuzz(config, resume=data)
+        assert _dump(tmp_path, "full.json", serial_report) == _dump(
+            tmp_path, "resumed.json", resumed
+        )
+
+    def test_resume_by_path_is_identical(self, serial_report, tmp_path):
+        ckpt = tmp_path / "ckpt2.json"
+        run_fuzz(_config(), shrink=False, checkpoint=str(ckpt),
+                 stop_after_batch=1)
+        resumed = run_fuzz(_config(), resume=str(ckpt))
+        assert _dump(tmp_path, "full2.json", serial_report) == _dump(
+            tmp_path, "resumed2.json", resumed
+        )
+
+
+class TestCheckpointState:
+    def test_checkpoint_written_after_every_batch(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        run_fuzz(_config(budget=16), shrink=False, checkpoint=str(ckpt),
+                 stop_after_batch=1)
+        _, data = load_checkpoint(str(ckpt))
+        assert data["batch"] == 2
+        assert len(data["records"]) == 16
+        # the checkpoint carries everything resume needs
+        for section in ("coverage", "corpus", "hits", "violation_signatures",
+                        "probes"):
+            assert section in data
+
+    def test_reports_carry_no_wall_clock(self, serial_report):
+        def scan(node, path="report"):
+            if isinstance(node, dict):
+                for key, value in node.items():
+                    assert key not in ("seconds", "wall", "elapsed",
+                                       "timestamp", "wall_clock"), path
+                    scan(value, f"{path}.{key}")
+            elif isinstance(node, list):
+                for i, value in enumerate(node):
+                    scan(value, f"{path}[{i}]")
+
+        scan(serial_report)

@@ -1,0 +1,94 @@
+"""Signature-preserving shrinking of fuzzer finds.
+
+The interesting fuzzer discovery is a violation that only exists at
+order >= 3: classic ddmin ("any violation will do") collapses such a
+cell onto whichever single fault violates something first, so the
+fuzzer shrinks with the predicate "this exact normalized violation
+signature survives".  These tests pin that distinction on the order-3
+window-interplay find the seed-7 campaign surfaces:
+HomeFilesystemOffline bounded to [30, 150] only trips the P3
+local-resource mishandling when NetworkPartition delays the job's input
+read into the offline window -- remove any one fault and the signature
+disappears.
+"""
+
+import pytest
+
+from repro.campaign.engine import run_cell_record
+from repro.campaign.shrink import minimize_cell, replay
+from repro.campaign.spec import CampaignConfig, CellSpec, FaultSpec
+from repro.obs.signature import violation_features
+
+P3_HFO = (
+    "viol:P3:user:HomeFilesystemOffline[local-resource/explicit]: "
+    "<job>@<site> consumed by 'user', which does not manage "
+    "local-resource scope"
+)
+
+CONFIG = CampaignConfig(mode="classic", seed=7)
+
+ORDER3 = (
+    FaultSpec(kind="HomeFilesystemOffline", at=30.0, until=150.0),
+    FaultSpec(kind="MissingInputFile", job_index=0),
+    FaultSpec(kind="NetworkPartition", site="exec000"),
+)
+
+
+def _cell(injections):
+    return CellSpec("classic/s7/x", "classic", 7, tuple(injections))
+
+
+def _keeps(record):
+    return P3_HFO in violation_features(record["violations"])
+
+
+@pytest.fixture(scope="module")
+def order3_spec():
+    return minimize_cell(_cell(ORDER3), CONFIG, keep=_keeps)
+
+
+class TestOrder3Minimal:
+    def test_the_triple_trips_the_signature(self):
+        record = run_cell_record(_cell(ORDER3), CONFIG)
+        assert P3_HFO in violation_features(record["violations"])
+
+    def test_every_pair_loses_the_signature(self):
+        """The ground truth that makes the triple order-3-minimal."""
+        for drop in range(3):
+            pair = tuple(s for i, s in enumerate(ORDER3) if i != drop)
+            record = run_cell_record(_cell(pair), CONFIG)
+            assert P3_HFO not in violation_features(record["violations"]), (
+                f"dropping injection {drop} should lose the signature"
+            )
+
+    def test_signature_preserving_shrink_keeps_order_3(self, order3_spec):
+        assert len(order3_spec["injections"]) == 3
+        kinds = {inj["kind"] for inj in order3_spec["injections"]}
+        assert kinds == {"HomeFilesystemOffline", "MissingInputFile",
+                         "NetworkPartition"}
+
+    def test_replay_retriggers_the_same_signature(self, order3_spec):
+        outcome = replay(order3_spec)
+        assert outcome["reproduced"]
+        assert P3_HFO in violation_features(outcome["violations"])
+
+    def test_plain_ddmin_would_collapse_to_order_1(self):
+        """Contrast: without the keep predicate, ddmin stops at the
+        first single fault that violates *anything* -- which is why the
+        fuzzer must shrink per signature."""
+        spec = minimize_cell(_cell(ORDER3), CONFIG)
+        assert len(spec["injections"]) == 1
+
+
+class TestOrder2Variant:
+    def test_open_window_pair_is_order_2_minimal(self):
+        """With the offline window left open the same signature needs
+        only the pair -- the window is what buys the third order."""
+        pair = (
+            FaultSpec(kind="HomeFilesystemOffline"),
+            FaultSpec(kind="MissingInputFile", job_index=0),
+        )
+        record = run_cell_record(_cell(pair), CONFIG)
+        assert P3_HFO in violation_features(record["violations"])
+        spec = minimize_cell(_cell(pair), CONFIG, keep=_keeps)
+        assert len(spec["injections"]) == 2

@@ -16,7 +16,10 @@ PUBLIC_MODULES = [
     "repro.bench.runner",
     "repro.campaign",
     "repro.campaign.cli",
+    "repro.campaign.corpus",
+    "repro.campaign.coverage",
     "repro.campaign.engine",
+    "repro.campaign.fuzz",
     "repro.campaign.report",
     "repro.campaign.shrink",
     "repro.campaign.spec",
@@ -82,6 +85,7 @@ PUBLIC_MODULES = [
     "repro.obs.metrics",
     "repro.obs.profile",
     "repro.obs.sanitize",
+    "repro.obs.signature",
     "repro.obs.span",
     "repro.pvm",
     "repro.pvm.program",
