@@ -22,7 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench.compare import compare_paths
+from repro.bench.compare import MissingBaselineError, compare_paths
 from repro.bench.runner import bench_name, discover, run_suite
 
 
@@ -43,6 +43,9 @@ def _run_main(argv: list[str]) -> int:
                              "only; sim results are per-round identical)")
     parser.add_argument("--list", action="store_true",
                         help="list discovered benchmarks and exit")
+    parser.add_argument("--results-db", default=None, metavar="PATH",
+                        help="also ingest each written BENCH file into this "
+                             "longitudinal results store")
     args = parser.parse_args(argv)
     if args.rounds is not None and args.rounds < 1:
         parser.error("--rounds must be >= 1")
@@ -60,6 +63,18 @@ def _run_main(argv: list[str]) -> int:
     if not written:
         print("no benchmarks matched", file=sys.stderr)
         return 1
+    if args.results_db:
+        from repro.obs.store import ResultsStore, default_commit
+
+        store = ResultsStore(args.results_db)
+        try:
+            commit = default_commit()
+            for path in written:
+                run_id = store.ingest_path(path, commit=commit)
+                print(f"ingested {path} -> run {run_id} "
+                      f"({args.results_db} @ {commit})")
+        finally:
+            store.close()
     import json
 
     failed = 0
@@ -90,13 +105,21 @@ def _compare_main(argv: list[str]) -> int:
                         help="skip wall-time checks entirely (sim diffs are "
                              "exact and still hard-fail)")
     args = parser.parse_args(argv)
-    problems, compared = compare_paths(
-        args.old,
-        args.new,
-        wall_threshold=args.wall_threshold,
-        min_wall_seconds=args.min_wall_seconds,
-        check_wall=not args.sim_only,
-    )
+    try:
+        problems, compared = compare_paths(
+            args.old,
+            args.new,
+            wall_threshold=args.wall_threshold,
+            min_wall_seconds=args.min_wall_seconds,
+            check_wall=not args.sim_only,
+        )
+    except MissingBaselineError as exc:
+        # Not a regression: there is nothing to compare against.  Exit 2
+        # so CI can tell "no baseline yet" from "benchmarks regressed".
+        print(f"MISSING BASELINE: {exc}", file=sys.stderr)
+        print("run `python -m repro.bench` to produce one, or check the path",
+              file=sys.stderr)
+        return 2
     for problem in problems:
         print(f"REGRESSION: {problem}")
     print(f"compared {compared} benchmark(s): "

@@ -22,6 +22,9 @@ from pathlib import Path
 from typing import Any
 
 __all__ = [
+    "DEFAULT_MIN_WALL_SECONDS",
+    "DEFAULT_WALL_THRESHOLD",
+    "MissingBaselineError",
     "WALL_KEYS",
     "compare_paths",
     "compare_records",
@@ -31,6 +34,22 @@ __all__ = [
 #: Keys whose subtrees carry host wall-clock data and are never compared
 #: byte-for-byte.
 WALL_KEYS = frozenset({"wall", "wall_seconds"})
+
+#: Default allowed fractional wall slowdown on a case's min round time
+#: (1.0 = a 2x slowdown passes).  Shared with ``repro.obs.store`` so
+#: ``trend`` / ``diff`` flag regressions by the same rule as the CI gate.
+DEFAULT_WALL_THRESHOLD = 1.0
+#: Cases whose min round time is below this on both sides are ignored.
+DEFAULT_MIN_WALL_SECONDS = 0.05
+
+
+class MissingBaselineError(FileNotFoundError):
+    """A comparison side does not exist (or holds no BENCH files).
+
+    Distinct from a regression: a missing baseline means there is
+    nothing to compare against -- the caller should exit with its own
+    status (the CLI uses 2) rather than report a false regression.
+    """
 
 
 def strip_wall(obj: Any) -> Any:
@@ -72,8 +91,8 @@ def _diff_paths(old: Any, new: Any, at: str, out: list[str], limit: int = 20) ->
 def compare_records(
     old: dict,
     new: dict,
-    wall_threshold: float = 1.0,
-    min_wall_seconds: float = 0.05,
+    wall_threshold: float = DEFAULT_WALL_THRESHOLD,
+    min_wall_seconds: float = DEFAULT_MIN_WALL_SECONDS,
     check_wall: bool = True,
 ) -> list[str]:
     """Problems between two BENCH records for the same benchmark.
@@ -111,27 +130,34 @@ def compare_records(
     return problems
 
 
-def _bench_files(path: Path) -> dict[str, Path]:
+def _bench_files(path: Path, side: str) -> dict[str, Path]:
+    # Only a path that does not exist at all is "missing"; an existing
+    # directory with no BENCH files still compares (each absent benchmark
+    # is then an ordinary problem -- a vanished benchmark must not pass).
     if path.is_dir():
         return {p.name: p for p in sorted(path.glob("BENCH_*.json"))}
+    if not path.is_file():
+        raise MissingBaselineError(f"{side} {str(path)!r} does not exist")
     return {path.name: path}
 
 
 def compare_paths(
     old: str | Path,
     new: str | Path,
-    wall_threshold: float = 1.0,
-    min_wall_seconds: float = 0.05,
+    wall_threshold: float = DEFAULT_WALL_THRESHOLD,
+    min_wall_seconds: float = DEFAULT_MIN_WALL_SECONDS,
     check_wall: bool = True,
 ) -> tuple[list[str], int]:
     """Compare two BENCH files, or two directories of them, pairwise.
 
     Returns ``(problems, n_compared)``.  A benchmark present on only one
     side is itself a problem: a silently vanished benchmark must not
-    read as a pass.
+    read as a pass.  A side that does not exist at all raises
+    :class:`MissingBaselineError` instead -- "no baseline yet" must not
+    masquerade as "everything regressed".
     """
-    old_files = _bench_files(Path(old))
-    new_files = _bench_files(Path(new))
+    old_files = _bench_files(Path(old), "baseline")
+    new_files = _bench_files(Path(new), "candidate")
     problems: list[str] = []
     for missing in sorted(set(old_files) - set(new_files)):
         problems.append(f"{missing}: present in old run only")

@@ -40,6 +40,19 @@ from repro.obs.sanitize import PrincipleViolationError
 __all__ = ["fuzz_main", "main"]
 
 
+def _ingest_report(db_path: str, report: dict, source: str) -> None:
+    """Record a campaign/fuzz report in the longitudinal results store."""
+    from repro.obs.store import ResultsStore, default_commit
+
+    store = ResultsStore(db_path)
+    try:
+        commit = default_commit()
+        run_id = store.ingest_obj(report, source=source, commit=commit)
+        print(f"ingested {source} -> run {run_id} ({db_path} @ {commit})")
+    finally:
+        store.close()
+
+
 def fuzz_main(argv: list[str] | None = None) -> int:
     from repro.campaign.fuzz import FuzzConfig, load_checkpoint, run_fuzz
 
@@ -78,6 +91,8 @@ def fuzz_main(argv: list[str] | None = None) -> int:
                              "if they disagree)")
     parser.add_argument("--no-shrink", action="store_true",
                         help="skip minimizing a reproducer per violation")
+    parser.add_argument("--results-db", metavar="PATH", default=None,
+                        help="ingest the fuzz report into this results store")
     args = parser.parse_args(argv)
 
     resume_state = None
@@ -120,6 +135,10 @@ def fuzz_main(argv: list[str] | None = None) -> int:
     print(f"wall clock {time.perf_counter() - started:.3f}s")
     if args.json:
         dump_json(args.json, report)
+    if args.results_db:
+        _ingest_report(args.results_db, report,
+                       source=f"campaign-fuzz:{config.campaign.mode}"
+                              f"@{config.campaign.seed}")
     return 0
 
 
@@ -159,6 +178,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip delta-debugging violating cells")
     parser.add_argument("--replay", metavar="SPEC", default=None,
                         help="re-run a reproducer spec instead of a campaign")
+    parser.add_argument("--results-db", metavar="PATH", default=None,
+                        help="ingest the campaign report into this results store")
     args = parser.parse_args(argv)
 
     if args.list_kinds:
@@ -222,6 +243,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wall clock {time.perf_counter() - started:.3f}s")
     if args.json:
         dump_json(args.json, report)
+    if args.results_db:
+        _ingest_report(args.results_db, report,
+                       source=f"campaign:{config.mode}@{config.seed}")
     return 0
 
 

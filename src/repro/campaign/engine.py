@@ -33,6 +33,8 @@ from repro.faults import FaultInjector
 from repro.harness.parallel import ParallelRunner
 from repro.harness.workloads import WorkloadSpec, make_workload
 from repro.jvm.program import Step
+from repro.obs.bus import TelemetryBus, TelemetryEvent, Topic
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import SimTimeProfiler
 from repro.obs.sanitize import PrincipleSanitizer
 from repro.obs.span import SpanBuilder
@@ -158,6 +160,47 @@ def run_cell_record(
         )
 
 
+class MakespanRecorder:
+    """Per-cell job-makespan distribution, via the same submit->result
+    pairing the GridConsole uses -- so campaign summaries can quote the
+    identical p50/p95/p99 footer."""
+
+    def __init__(self, bus: TelemetryBus):
+        self.registry = MetricsRegistry()
+        self.values: list[float] = []
+        self._submit: dict[str, float] = {}
+        self._unsubscribe = bus.subscribe(self.on_event)
+
+    def detach(self) -> None:
+        self._unsubscribe()
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        if event.topic is not Topic.JOB:
+            return
+        job = event.attr("job")
+        if job is None:
+            return
+        if event.name == "submit":
+            self._submit.setdefault(job, event.time)
+        elif event.name in ("result", "hold"):
+            submitted = self._submit.pop(job, None)
+            if submitted is not None:
+                makespan = event.time - submitted
+                self.registry.histogram("job_makespan_seconds", makespan)
+                self.values.append(makespan)
+
+    def percentiles(self) -> dict[str, float] | None:
+        """GridConsole's footer triple; None when no job finished."""
+        p50 = self.registry.histogram_percentile("job_makespan_seconds", 50)
+        if p50 is None:
+            return None
+        return {
+            "p50": p50,
+            "p95": self.registry.histogram_percentile("job_makespan_seconds", 95),
+            "p99": self.registry.histogram_percentile("job_makespan_seconds", 99),
+        }
+
+
 def _run_cell(
     cell: CellSpec,
     config: CampaignConfig,
@@ -211,6 +254,7 @@ def _run_cell(
             job.image.program.steps.insert(0, Step.allocate(16 * MB))
 
     injector = FaultInjector(pool)
+    makespans = MakespanRecorder(pool.bus)
     profiler = SimTimeProfiler(pool.bus) if profile else None
     spans = SpanBuilder(pool.bus) if features else None
     sanitizer = PrincipleSanitizer(
@@ -227,6 +271,7 @@ def _run_cell(
 
     stage[0] = "simulate"
     pool.run_until_done(max_time=config.max_time, expected_jobs=len(jobs))
+    makespans.detach()
     sanitizer.detach()
     if spans is not None:
         spans.detach()
@@ -267,6 +312,8 @@ def _run_cell(
             "unfinished": len(jobs) - completed - held,
         },
         "makespan": pool.sim.now,
+        "job_makespans": sorted(makespans.values),
+        "makespan_percentiles": makespans.percentiles(),
         "violations": posthoc,
         "live_violations": live,
         "live_matches_posthoc": (

@@ -13,7 +13,30 @@ from __future__ import annotations
 
 from repro.harness.report import Table
 
-__all__ = ["render_cell_profiles", "render_fuzz_summary", "render_summary"]
+__all__ = ["makespan_footer", "render_cell_profiles", "render_fuzz_summary", "render_summary"]
+
+
+def makespan_footer(cells: list[dict]) -> str | None:
+    """The GridConsole jobs-panel footer, over a whole campaign's cells.
+
+    Pools every cell's job makespans into one histogram and quotes the
+    same ``p50/p95/p99`` triple via
+    :meth:`~repro.obs.metrics.MetricsRegistry.histogram_percentile`.
+    None when no cell finished a job (empty histogram), so callers emit
+    no footer rather than a degenerate one.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for record in cells:
+        for value in record.get("job_makespans") or ():
+            registry.histogram("job_makespan_seconds", value)
+    p50 = registry.histogram_percentile("job_makespan_seconds", 50)
+    if p50 is None:
+        return None
+    p95 = registry.histogram_percentile("job_makespan_seconds", 95)
+    p99 = registry.histogram_percentile("job_makespan_seconds", 99)
+    return f"makespan p50={p50:.1f}s p95={p95:.1f}s p99={p99:.1f}s"
 
 
 def _principle_counts(violations: list[dict]) -> dict[int, int]:
@@ -55,6 +78,9 @@ def render_summary(report: dict) -> str:
         f"{totals['cells_with_violations']}/{totals['cells']} cells  "
         + "  ".join(f"{p}={by_principle[p]}" for p in ("P1", "P2", "P3", "P4"))
     )
+    footer = makespan_footer(report["cells"])
+    if footer is not None:
+        table.add_footer(footer)
     if totals["live_mismatches"]:
         table.add_footer(
             f"WARNING: {totals['live_mismatches']} cell(s) where live and "
@@ -118,6 +144,9 @@ def render_fuzz_summary(report: dict) -> str:
         + ", all principles at cell "
         + ("-" if everything is None else str(everything))
     )
+    footer = makespan_footer(report["cells"])
+    if footer is not None:
+        table.add_footer(footer)
     if totals["live_mismatches"]:
         table.add_footer(
             f"WARNING: {totals['live_mismatches']} cell(s) where live and "

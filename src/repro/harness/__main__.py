@@ -143,6 +143,9 @@ def main(argv: list[str] | None = None) -> int:
                              "and print a 'where time went' summary")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the experiment results as JSON")
+    parser.add_argument("--results-db", metavar="PATH", default=None,
+                        help="ingest the run (and any --trace/--metrics/"
+                             "--profile exports) into this results store")
     args = parser.parse_args(argv)
     if args.list or not args.experiment:
         print("experiments:")
@@ -185,14 +188,29 @@ def main(argv: list[str] | None = None) -> int:
     if session is not None and session.profiling:
         print(render_profile(session.profile_report()))
         print()
+    payload = {
+        "seed": args.seed,
+        "experiments": {r["name"]: r["data"] for r in records},
+    }
     if args.json:
-        dump_json(
-            args.json,
-            {
-                "seed": args.seed,
-                "experiments": {r["name"]: r["data"] for r in records},
-            },
-        )
+        dump_json(args.json, payload)
+    if args.results_db:
+        from repro.obs.store import ResultsStore, default_commit
+
+        store = ResultsStore(args.results_db)
+        try:
+            commit = default_commit()
+            run_id = store.ingest_obj(
+                payload, source=f"harness:{','.join(names)}", commit=commit
+            )
+            print(f"ingested harness run -> run {run_id} "
+                  f"({args.results_db} @ {commit})")
+            for path in (args.trace, args.metrics, args.profile):
+                if path:
+                    run_id = store.ingest_path(path, commit=commit)
+                    print(f"ingested {path} -> run {run_id}")
+        finally:
+            store.close()
     return 0
 
 

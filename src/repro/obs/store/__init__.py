@@ -1,0 +1,489 @@
+"""The longitudinal results store: SQLite, schema ``repro-results/1``.
+
+One append-only database remembers what every one-shot artifact forgot:
+``runs`` rows keyed by commit, config hash, and seed, each carrying the
+artifact's **wall-stripped canonical payload** (the deterministic part,
+byte-identical across serial and ``--jobs N`` source runs), plus
+relational projections -- ``metrics``, ``bench_cases``, ``cells``,
+``violations``, ``profile_sections``, ``error_hops`` -- that the query
+CLI (:mod:`repro.obs.store.__main__`) and the GridConsole web view
+(:mod:`repro.obs.web`) read directly.
+
+The determinism contract (DESIGN.md §3.6f): everything wall-side --
+the commit sha, the ingestion timestamp, and ``wall``-flagged metric
+rows -- lives in its own columns, never inside the payload, so
+``query --strip-wall`` output over two stores fed the same artifacts is
+byte-identical no matter when or on what host they were ingested.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.obs.store.ingest import Extracted, IngestError, extract, extract_text
+
+__all__ = [
+    "IngestError",
+    "RESULTS_SCHEMA",
+    "ResultsStore",
+    "StoreSchemaError",
+    "canonical_json",
+    "config_hash",
+    "default_commit",
+]
+
+RESULTS_SCHEMA = "repro-results/1"
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id      INTEGER PRIMARY KEY,
+    kind        TEXT NOT NULL,
+    source      TEXT NOT NULL,
+    schema      TEXT NOT NULL,
+    config_hash TEXT NOT NULL,
+    seed        INTEGER,
+    payload     TEXT NOT NULL,
+    -- wall-side metadata: never part of the deterministic payload
+    commit_sha  TEXT NOT NULL,
+    ingested_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS runs_by_commit ON runs(commit_sha, run_id);
+CREATE INDEX IF NOT EXISTS runs_by_kind ON runs(kind, run_id);
+CREATE TABLE IF NOT EXISTS metrics (
+    run_id INTEGER NOT NULL REFERENCES runs(run_id),
+    name   TEXT NOT NULL,
+    label  TEXT NOT NULL DEFAULT '',
+    value  REAL NOT NULL,
+    wall   INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS metrics_by_name ON metrics(name, label, run_id);
+CREATE TABLE IF NOT EXISTS bench_cases (
+    run_id           INTEGER NOT NULL REFERENCES runs(run_id),
+    bench            TEXT NOT NULL,
+    case_id          TEXT NOT NULL,
+    ok               INTEGER NOT NULL,
+    deterministic    INTEGER NOT NULL,
+    sim_events       INTEGER,
+    sim_time         REAL,
+    wall_min_seconds REAL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    run_id      INTEGER NOT NULL REFERENCES runs(run_id),
+    cell        TEXT NOT NULL,
+    fault_order INTEGER NOT NULL,
+    completed   INTEGER NOT NULL,
+    held        INTEGER NOT NULL,
+    unfinished  INTEGER NOT NULL,
+    violations  INTEGER NOT NULL,
+    makespan    REAL,
+    error       TEXT
+);
+CREATE TABLE IF NOT EXISTS violations (
+    run_id      INTEGER NOT NULL REFERENCES runs(run_id),
+    cell        TEXT NOT NULL,
+    principle   INTEGER NOT NULL,
+    subject     TEXT NOT NULL,
+    description TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS profile_sections (
+    run_id   INTEGER NOT NULL REFERENCES runs(run_id),
+    daemon   TEXT NOT NULL,
+    phase    TEXT NOT NULL,
+    scope    TEXT NOT NULL,
+    events   INTEGER NOT NULL,
+    sim_time REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS error_hops (
+    run_id INTEGER NOT NULL REFERENCES runs(run_id),
+    scope  TEXT NOT NULL,
+    hops   INTEGER NOT NULL
+);
+"""
+
+#: child tables swept alongside their runs row (gc, purge).
+_CHILD_TABLES = (
+    "metrics", "bench_cases", "cells", "violations", "profile_sections", "error_hops",
+)
+
+
+class StoreSchemaError(RuntimeError):
+    """The database on disk speaks a different results schema version."""
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical JSON text: sorted keys, fixed separators, no whitespace."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def config_hash(config: dict) -> str:
+    """Stable short hash identifying a run configuration across commits."""
+    return hashlib.sha256(canonical_json(config).encode()).hexdigest()[:12]
+
+
+def default_commit(cwd: str | Path | None = None) -> str:
+    """The current commit's short sha, or ``unknown`` outside a checkout.
+
+    Wall-side metadata only -- the sha labels a trajectory point and
+    never enters a deterministic payload.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, timeout=10, cwd=cwd,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+class ResultsStore:
+    """Open (or create) the results store at *path* (``:memory:`` for tests)."""
+
+    def __init__(self, path: str = "repro-results.db", now: Callable[[], float] = time.time):
+        self.path = path
+        self.now = now
+        self._db = sqlite3.connect(path)
+        self._db.executescript(_TABLES)
+        row = self._db.execute("SELECT value FROM meta WHERE key='schema'").fetchone()
+        if row is None:
+            self._db.execute(
+                "INSERT INTO meta(key, value) VALUES ('schema', ?)", (RESULTS_SCHEMA,)
+            )
+            self._db.commit()
+        elif row[0] != RESULTS_SCHEMA:
+            self._db.close()
+            raise StoreSchemaError(
+                f"results store at {path!r} has schema {row[0]!r}, "
+                f"this build speaks {RESULTS_SCHEMA!r}"
+            )
+
+    def close(self) -> None:
+        self._db.close()
+
+    # -- ingestion -------------------------------------------------------
+    def ingest_obj(self, obj: Any, source: str, commit: str = "unknown") -> int:
+        """Ingest one parsed artifact; returns the new run id."""
+        return self._insert(extract(obj, source), source, commit)
+
+    def ingest_text(self, text: str, source: str, commit: str = "unknown") -> int:
+        """Ingest one artifact from raw text (JSON document or JSONL trace)."""
+        return self._insert(extract_text(text, source), source, commit)
+
+    def ingest_path(self, path: str | Path, commit: str = "unknown") -> int:
+        """Ingest one artifact file; the source name is its basename."""
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise IngestError("NOT_JSON", path.name, f"cannot read file: {exc}") from None
+        return self.ingest_text(text, source=path.name, commit=commit)
+
+    def _insert(self, ex: Extracted, source: str, commit: str) -> int:
+        cursor = self._db.execute(
+            "INSERT INTO runs(kind, source, schema, config_hash, seed, payload,"
+            " commit_sha, ingested_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                ex.kind,
+                source,
+                ex.artifact_schema,
+                config_hash(ex.config),
+                ex.seed,
+                canonical_json(ex.payload),
+                commit,
+                self.now(),
+            ),
+        )
+        run_id = cursor.lastrowid
+        self._db.executemany(
+            "INSERT INTO metrics(run_id, name, label, value, wall) VALUES (?, ?, ?, ?, ?)",
+            [(run_id, n, l, v, int(w)) for n, l, v, w in ex.metrics],
+        )
+        self._db.executemany(
+            "INSERT INTO bench_cases(run_id, bench, case_id, ok, deterministic,"
+            " sim_events, sim_time, wall_min_seconds) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            [(run_id, b, c, int(ok), int(d), e, t, w)
+             for b, c, ok, d, e, t, w in ex.bench_cases],
+        )
+        self._db.executemany(
+            "INSERT INTO cells(run_id, cell, fault_order, completed, held, unfinished,"
+            " violations, makespan, error) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [(run_id, *cell) for cell in ex.cells],
+        )
+        self._db.executemany(
+            "INSERT INTO violations(run_id, cell, principle, subject, description)"
+            " VALUES (?, ?, ?, ?, ?)",
+            [(run_id, *violation) for violation in ex.violations],
+        )
+        self._db.executemany(
+            "INSERT INTO profile_sections(run_id, daemon, phase, scope, events, sim_time)"
+            " VALUES (?, ?, ?, ?, ?, ?)",
+            [(run_id, *section) for section in ex.profile_sections],
+        )
+        self._db.executemany(
+            "INSERT INTO error_hops(run_id, scope, hops) VALUES (?, ?, ?)",
+            [(run_id, scope, hops) for scope, hops in ex.error_hops],
+        )
+        self._db.commit()
+        return run_id
+
+    # -- queries ---------------------------------------------------------
+    def runs(
+        self,
+        kind: str | None = None,
+        commit: str | None = None,
+        limit: int | None = None,
+    ) -> list[dict]:
+        """Run rows (payload digest, not body), newest last by run id."""
+        sql = (
+            "SELECT run_id, kind, source, schema, config_hash, seed, payload,"
+            " commit_sha, ingested_at FROM runs"
+        )
+        clauses, params = [], []
+        if kind is not None:
+            clauses.append("kind=?")
+            params.append(kind)
+        if commit is not None:
+            clauses.append("commit_sha=?")
+            params.append(commit)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY run_id"
+        rows = self._db.execute(sql, params).fetchall()
+        if limit is not None:
+            rows = rows[-limit:]
+        return [
+            {
+                "run_id": r[0],
+                "kind": r[1],
+                "source": r[2],
+                "schema": r[3],
+                "config_hash": r[4],
+                "seed": r[5],
+                "payload_sha": hashlib.sha256(r[6].encode()).hexdigest()[:12],
+                "payload_bytes": len(r[6]),
+                "commit": r[7],
+                "ingested_at": r[8],
+            }
+            for r in rows
+        ]
+
+    def payload(self, run_id: int) -> Any:
+        """The deterministic payload of one run, parsed."""
+        row = self._db.execute(
+            "SELECT payload FROM runs WHERE run_id=?", (run_id,)
+        ).fetchone()
+        if row is None:
+            raise LookupError(f"no run {run_id} in results store {self.path!r}")
+        return json.loads(row[0])
+
+    def latest_run(self, kind: str, commit: str | None = None) -> dict | None:
+        """The newest run row of *kind* (optionally at one commit)."""
+        rows = self.runs(kind=kind, commit=commit)
+        return rows[-1] if rows else None
+
+    def commits(self) -> list[str]:
+        """Distinct commits in first-ingestion order -- the trajectory axis."""
+        seen: list[str] = []
+        for (sha,) in self._db.execute("SELECT commit_sha FROM runs ORDER BY run_id"):
+            if sha not in seen:
+                seen.append(sha)
+        return seen
+
+    def metric_names(self) -> list[tuple[str, int]]:
+        """Every metric name with its row count (for ``trend`` discovery)."""
+        return list(
+            self._db.execute(
+                "SELECT name, COUNT(*) FROM metrics GROUP BY name ORDER BY name"
+            )
+        )
+
+    def trend(self, metric: str, label: str | None = None) -> dict:
+        """Per-commit trajectory of one metric: the latest value each
+        (commit, label) pair has, commits in first-ingestion order."""
+        sql = (
+            "SELECT r.commit_sha, m.label, m.value, m.wall, m.run_id FROM metrics m"
+            " JOIN runs r ON r.run_id = m.run_id WHERE m.name=?"
+        )
+        params: list = [metric]
+        if label is not None:
+            sql += " AND m.label LIKE ?"
+            params.append(f"%{label}%")
+        sql += " ORDER BY m.run_id"
+        commits = self.commits()
+        order = {sha: i for i, sha in enumerate(commits)}
+        series: dict[str, list] = {}
+        wall_flags: dict[str, bool] = {}
+        for sha, lbl, value, wall, _run in self._db.execute(sql, params):
+            if sha not in order:  # pragma: no cover - defensive
+                continue
+            column = series.setdefault(lbl, [None] * len(commits))
+            column[order[sha]] = value  # later runs overwrite: latest wins
+            wall_flags[lbl] = wall_flags.get(lbl, False) or bool(wall)
+        return {
+            "metric": metric,
+            "commits": commits,
+            "series": {lbl: series[lbl] for lbl in sorted(series)},
+            "wall": {lbl: wall_flags[lbl] for lbl in sorted(wall_flags)},
+        }
+
+    def error_hops(self, commit: str | None = None) -> dict[str, int]:
+        """Aggregate error hops by scope over the latest trace/metrics run
+        of each source (or every run at one commit)."""
+        latest: dict[tuple[str, str], int] = {}
+        sql = "SELECT run_id, kind, source, commit_sha FROM runs ORDER BY run_id"
+        for run_id, kind, source, sha in self._db.execute(sql):
+            if commit is not None and sha != commit:
+                continue
+            latest[(kind, source)] = run_id
+        hops: dict[str, int] = {}
+        for run_id in latest.values():
+            for scope, n in self._db.execute(
+                "SELECT scope, hops FROM error_hops WHERE run_id=?", (run_id,)
+            ):
+                hops[scope] = hops.get(scope, 0) + n
+        return dict(sorted(hops.items()))
+
+    def violation_count(self) -> int:
+        """Total sanitizer violations recorded across all stored runs."""
+        (count,) = self._db.execute("SELECT COUNT(*) FROM violations").fetchone()
+        return int(count)
+
+    def sections(self, commit: str | None = None, top: int = 12) -> list[dict]:
+        """Aggregate "where time went" triples over the latest run of each
+        source, heaviest simulated time first."""
+        latest: dict[tuple[str, str], int] = {}
+        for run_id, kind, source, sha in self._db.execute(
+            "SELECT run_id, kind, source, commit_sha FROM runs ORDER BY run_id"
+        ):
+            if commit is not None and sha != commit:
+                continue
+            latest[(kind, source)] = run_id
+        totals: dict[tuple[str, str, str], list[float]] = {}
+        for run_id in latest.values():
+            for daemon, phase, scope, events, sim_time in self._db.execute(
+                "SELECT daemon, phase, scope, events, sim_time"
+                " FROM profile_sections WHERE run_id=?", (run_id,)
+            ):
+                entry = totals.setdefault((daemon, phase, scope), [0, 0.0])
+                entry[0] += events
+                entry[1] += sim_time
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1][1], kv[0]))
+        return [
+            {
+                "daemon": daemon, "phase": phase, "scope": scope,
+                "events": int(events), "sim_time": sim_time,
+            }
+            for (daemon, phase, scope), (events, sim_time) in ranked[:top]
+        ]
+
+    def folded(self, commit: str | None = None) -> tuple[list[str], list[dict]]:
+        """Flamegraph folded stacks, merged over the latest profile-carrying
+        run of each source (profile exports and bench cases both ship them).
+
+        Returns ``(stacks, run_rows)`` -- empty when nothing stores stacks.
+        """
+        latest: dict[tuple[str, str], int] = {}
+        for run_id, kind, source, sha in self._db.execute(
+            "SELECT run_id, kind, source, commit_sha FROM runs"
+            " WHERE kind IN ('profile', 'bench', 'harness') ORDER BY run_id"
+        ):
+            if commit is not None and sha != commit:
+                continue
+            latest[(kind, source)] = run_id
+        stacks: list[str] = []
+        rows: list[dict] = []
+        for (kind, source), run_id in sorted(latest.items(), key=lambda kv: kv[1]):
+            payload = self.payload(run_id)
+            found = list(payload.get("folded") or [])
+            for case in (payload.get("cases") or {}).values():
+                found.extend(case.get("folded") or [])
+            if found:
+                stacks.extend(found)
+                rows.append({"run_id": run_id, "kind": kind, "source": source})
+        return stacks, rows
+
+    def matrix(self, commit: str | None = None) -> dict | None:
+        """The newest campaign/fuzz run's cell grid (for the console)."""
+        candidates = [
+            row
+            for kind in ("campaign", "fuzz")
+            if (row := self.latest_run(kind, commit=commit)) is not None
+        ]
+        if not candidates:
+            return None
+        row = max(candidates, key=lambda r: r["run_id"])
+        cells = [
+            {
+                "cell": cell, "order": order, "completed": completed,
+                "held": held, "unfinished": unfinished,
+                "violations": violations, "makespan": makespan, "error": error,
+            }
+            for cell, order, completed, held, unfinished, violations, makespan, error
+            in self._db.execute(
+                "SELECT cell, fault_order, completed, held, unfinished,"
+                " violations, makespan, error FROM cells WHERE run_id=?"
+                " ORDER BY rowid", (row["run_id"],)
+            )
+        ]
+        return {"run": row, "cells": cells}
+
+    def bench_payloads(self, commit: str) -> dict[str, dict]:
+        """bench name -> latest payload at *commit* (for ``diff``)."""
+        out: dict[str, dict] = {}
+        for row in self.runs(kind="bench", commit=commit):
+            payload = self.payload(row["run_id"])
+            out[payload.get("bench", row["source"])] = payload
+        return out
+
+    def wall_metrics(self, commit: str) -> dict[tuple[str, str], float]:
+        """(name, label) -> latest wall-side value at *commit*."""
+        out: dict[tuple[str, str], float] = {}
+        for name, label, value in self._db.execute(
+            "SELECT m.name, m.label, m.value FROM metrics m"
+            " JOIN runs r ON r.run_id = m.run_id"
+            " WHERE m.wall=1 AND r.commit_sha=? ORDER BY m.run_id",
+            (commit,),
+        ):
+            out[(name, label)] = value  # latest run wins
+        return out
+
+    # -- retention -------------------------------------------------------
+    def gc(self, keep: int, dry_run: bool = False) -> dict:
+        """Keep the newest *keep* runs per (kind, config_hash); drop the rest.
+
+        Returns ``{"deleted": [run ids], "kept": N}``.  The payloads are
+        the bulky part; the child rows go with them.
+        """
+        if keep < 1:
+            raise ValueError(f"gc keep must be >= 1, got {keep}")
+        by_config: dict[tuple[str, str], list[int]] = {}
+        for run_id, kind, cfg in self._db.execute(
+            "SELECT run_id, kind, config_hash FROM runs ORDER BY run_id"
+        ):
+            by_config.setdefault((kind, cfg), []).append(run_id)
+        doomed = sorted(
+            run_id
+            for run_ids in by_config.values()
+            for run_id in run_ids[:-keep]
+        )
+        kept = sum(len(v) for v in by_config.values()) - len(doomed)
+        if doomed and not dry_run:
+            marks = ",".join("?" * len(doomed))
+            for table in _CHILD_TABLES:
+                self._db.execute(
+                    f"DELETE FROM {table} WHERE run_id IN ({marks})", doomed  # noqa: S608
+                )
+            self._db.execute(f"DELETE FROM runs WHERE run_id IN ({marks})", doomed)
+            self._db.commit()
+        return {"deleted": doomed, "kept": kept}

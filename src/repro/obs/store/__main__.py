@@ -1,0 +1,223 @@
+"""The results-store CLI: ``python -m repro.obs.store``.
+
+Examples::
+
+    python -m repro.obs.store ingest benchmarks/baseline/*.json
+    python -m repro.obs.store ingest report.json --db results.db --commit abc123
+    python -m repro.obs.store query --kind bench --strip-wall
+    python -m repro.obs.store trend --metric wall_seconds
+    python -m repro.obs.store trend --metric makespan --label fig3 --json
+    python -m repro.obs.store diff abc123 def456
+    python -m repro.obs.store gc --keep 5
+
+``ingest`` auto-detects every artifact schema the reproduction emits
+(BENCH / campaign / fuzz / harness JSON, trace JSONL, metrics and
+profile exports) and keeps going past rejected files, reporting each
+with its structured code.  ``trend`` renders a per-commit trajectory
+and flags wall regressions by the same thresholds as ``repro.bench
+compare``; ``diff`` compares two commits (sim side exact over the
+wall-stripped payloads, wall side thresholded).  Exit codes: 0 ok,
+1 regression / rejected file, 2 missing commit or empty store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.compare import DEFAULT_MIN_WALL_SECONDS, DEFAULT_WALL_THRESHOLD
+from repro.obs.store import IngestError, ResultsStore, default_commit
+from repro.obs.store.query import (
+    diff_commits,
+    render_diff,
+    render_runs,
+    trend_table,
+)
+
+
+def _add_db(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--db", default="repro-results.db", metavar="PATH",
+                        help="results store path (default: repro-results.db)")
+
+
+def _add_thresholds(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--wall-threshold", type=float,
+                        default=DEFAULT_WALL_THRESHOLD, metavar="F",
+                        help="allowed fractional wall slowdown (same rule as "
+                             "`repro.bench compare`; default %(default)s)")
+    parser.add_argument("--min-wall-seconds", type=float,
+                        default=DEFAULT_MIN_WALL_SECONDS, metavar="S",
+                        help="ignore wall values below S on both sides "
+                             "(default %(default)s)")
+
+
+def _ingest_main(args: argparse.Namespace) -> int:
+    commit = args.commit if args.commit is not None else default_commit()
+    store = ResultsStore(args.db)
+    rejected: list[IngestError] = []
+    try:
+        for path in args.artifacts:
+            try:
+                run_id = store.ingest_path(path, commit=commit)
+            except IngestError as exc:
+                rejected.append(exc)
+                print(f"REJECTED {exc}", file=sys.stderr)
+            else:
+                print(f"ingested {path} -> run {run_id} (commit {commit})")
+    finally:
+        store.close()
+    if rejected:
+        print(f"{len(rejected)} artifact(s) rejected", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _query_main(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.db)
+    try:
+        rows = store.runs(kind=args.kind, commit=args.commit, limit=args.limit)
+    finally:
+        store.close()
+    if args.strip_wall:
+        for row in rows:
+            del row["commit"], row["ingested_at"]
+    if args.json:
+        print(json.dumps(rows, sort_keys=True, indent=2))
+    else:
+        print(render_runs(rows, strip_wall=args.strip_wall))
+    return 0
+
+
+def _trend_main(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.db)
+    try:
+        if args.metric is None:
+            print("metrics in store:")
+            for name, count in store.metric_names():
+                print(f"  {name}  ({count} rows)")
+            return 0
+        trend = store.trend(args.metric, label=args.label)
+    finally:
+        store.close()
+    if not trend["series"]:
+        suffix = f" with label ~{args.label!r}" if args.label else ""
+        print(f"no data for metric {args.metric!r}{suffix}; "
+              "`trend` with no --metric lists what the store has",
+              file=sys.stderr)
+        return 2
+    rendered, regressions = trend_table(
+        trend,
+        wall_threshold=args.wall_threshold,
+        min_wall_seconds=args.min_wall_seconds,
+    )
+    if args.json:
+        trend["regressions"] = regressions
+        print(json.dumps(trend, sort_keys=True, indent=2))
+    else:
+        print(rendered)
+        for regression in regressions:
+            print(f"REGRESSION: {regression}")
+    return 1 if regressions else 0
+
+
+def _diff_main(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.db)
+    try:
+        diff = diff_commits(
+            store,
+            args.commit_a,
+            args.commit_b,
+            wall_threshold=args.wall_threshold,
+            min_wall_seconds=args.min_wall_seconds,
+        )
+    except LookupError as exc:
+        print(f"MISSING COMMIT: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        store.close()
+    if args.json:
+        print(json.dumps(diff, sort_keys=True, indent=2))
+    else:
+        print(render_diff(diff))
+    return 1 if diff["problems"] else 0
+
+
+def _gc_main(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.db)
+    try:
+        result = store.gc(keep=args.keep, dry_run=args.dry_run)
+    finally:
+        store.close()
+    verb = "would delete" if args.dry_run else "deleted"
+    print(f"gc: {verb} {len(result['deleted'])} run(s), kept {result['kept']} "
+          f"(newest {args.keep} per kind+config)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.store",
+        description="Longitudinal results store over every repro artifact schema.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    ingest = commands.add_parser("ingest", help="ingest artifact files")
+    ingest.add_argument("artifacts", nargs="+", metavar="FILE",
+                        help="BENCH/campaign/fuzz/harness JSON, trace JSONL, "
+                             "metrics or profile exports")
+    ingest.add_argument("--commit", default=None, metavar="SHA",
+                        help="commit to record (default: git rev-parse, else 'unknown')")
+    _add_db(ingest)
+
+    query = commands.add_parser("query", help="list stored runs")
+    query.add_argument("--kind", default=None,
+                       choices=("bench", "campaign", "fuzz", "harness",
+                                "trace", "metrics", "profile"))
+    query.add_argument("--commit", default=None, metavar="SHA")
+    query.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="show only the newest N runs")
+    query.add_argument("--strip-wall", action="store_true",
+                       help="drop wall-side columns (commit, ingested-at); "
+                            "output is then byte-identical across hosts")
+    query.add_argument("--json", action="store_true")
+    _add_db(query)
+
+    trend = commands.add_parser(
+        "trend", help="per-commit trajectory of one metric"
+    )
+    trend.add_argument("--metric", default=None, metavar="NAME",
+                       help="metric name (omit to list available metrics)")
+    trend.add_argument("--label", default=None, metavar="SUBSTR",
+                       help="restrict to labels containing SUBSTR")
+    trend.add_argument("--json", action="store_true")
+    _add_thresholds(trend)
+    _add_db(trend)
+
+    diff = commands.add_parser("diff", help="compare two commits")
+    diff.add_argument("commit_a")
+    diff.add_argument("commit_b")
+    diff.add_argument("--json", action="store_true")
+    _add_thresholds(diff)
+    _add_db(diff)
+
+    gc = commands.add_parser("gc", help="drop old runs per kind+config")
+    gc.add_argument("--keep", type=int, default=5, metavar="N",
+                    help="runs to keep per (kind, config hash) (default 5)")
+    gc.add_argument("--dry-run", action="store_true")
+    _add_db(gc)
+
+    args = parser.parse_args(argv)
+    if args.command == "gc" and args.keep < 1:
+        gc.error(f"--keep must be >= 1, got {args.keep}")
+    return {
+        "ingest": _ingest_main,
+        "query": _query_main,
+        "trend": _trend_main,
+        "diff": _diff_main,
+        "gc": _gc_main,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,402 @@
+"""Artifact detection and extraction for the longitudinal results store.
+
+Every one-shot artifact the reproduction emits -- ``BENCH_*.json``
+(schema ``repro-bench/1``), campaign reports (``repro-campaign/1``),
+fuzz reports (``repro-campaign-fuzz/1``), harness ``--json`` payloads,
+and the trace / metrics / profile exports -- is recognised here and
+reduced to one :class:`Extracted` record: the wall-stripped canonical
+payload (the deterministic part, byte-identical across serial and
+``--jobs N`` source runs), plus relational projections (scalar metrics,
+bench cases, campaign cells, violations, profile sections, error hops
+by scope) that the query CLI and the GridConsole web view read without
+re-parsing payloads.
+
+Rejection is structured: anything that is not an artifact we know ends
+in an :class:`IngestError` carrying a machine-readable ``code``
+(``NOT_JSON`` / ``UNRECOGNIZED`` / ``MALFORMED``) and the offending
+source name -- never a bare ``KeyError`` from deep inside an extractor.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bench.compare import strip_wall
+
+__all__ = [
+    "ARTIFACT_SCHEMAS",
+    "Extracted",
+    "IngestError",
+    "extract",
+    "extract_text",
+]
+
+#: artifact schema marker -> the store's ``kind`` for it.
+ARTIFACT_SCHEMAS = {
+    "repro-bench/1": "bench",
+    "repro-campaign/1": "campaign",
+    "repro-campaign-fuzz/1": "fuzz",
+    "repro-harness/1": "harness",
+    "repro-trace/1": "trace",
+    "repro-metrics/1": "metrics",
+    "repro-profile/1": "profile",
+}
+
+
+class IngestError(ValueError):
+    """A source that cannot become a results-store row, with a typed code."""
+
+    def __init__(self, code: str, source: str, message: str):
+        self.code = code
+        self.source = source
+        self.message = message
+        super().__init__(f"{source}: [{code}] {message}")
+
+    def to_dict(self) -> dict:
+        return {"code": self.code, "source": self.source, "message": self.message}
+
+
+@dataclass
+class Extracted:
+    """One artifact reduced to store rows; ``payload`` is wall-stripped."""
+
+    kind: str
+    artifact_schema: str
+    config: dict
+    seed: int | None
+    payload: Any
+    #: (name, label, value, wall?) -- wall rows carry host measurement.
+    metrics: list[tuple[str, str, float, bool]] = field(default_factory=list)
+    #: (bench, case_id, ok, deterministic, sim_events, sim_time, wall_min)
+    bench_cases: list[tuple] = field(default_factory=list)
+    #: (cell, order, completed, held, unfinished, violations, makespan, error)
+    cells: list[tuple] = field(default_factory=list)
+    #: (cell, principle, subject, description)
+    violations: list[tuple] = field(default_factory=list)
+    #: (daemon, phase, scope, events, sim_time)
+    profile_sections: list[tuple] = field(default_factory=list)
+    #: (scope, hops)
+    error_hops: list[tuple] = field(default_factory=list)
+
+
+def _require(obj: dict, key: str, types, source: str, where: str) -> Any:
+    value = obj.get(key)
+    if not isinstance(value, types):
+        raise IngestError(
+            "MALFORMED",
+            source,
+            f"{where} is missing {key!r} (or it has the wrong type)",
+        )
+    return value
+
+
+# -- per-schema extractors ----------------------------------------------
+def _extract_bench(obj: dict, source: str) -> Extracted:
+    bench = _require(obj, "bench", str, source, "bench record")
+    cases = _require(obj, "cases", dict, source, "bench record")
+    out = Extracted(
+        kind="bench",
+        artifact_schema="repro-bench/1",
+        config={"kind": "bench", "bench": bench},
+        seed=None,
+        payload=strip_wall(obj),
+    )
+    for case_id, case in sorted(cases.items()):
+        if not isinstance(case, dict):
+            raise IngestError("MALFORMED", source, f"bench case {case_id!r} is not a record")
+        label = f"{bench}:{case_id}"
+        wall = case.get("wall_seconds") or {}
+        wall_min = wall.get("min")
+        if wall_min is not None:
+            out.metrics.append(("wall_seconds", label, float(wall_min), True))
+        sim = case.get("sim") or {}
+        sim_events = sim.get("events")
+        sim_time = sim.get("sim_time")
+        if sim_time is not None:
+            out.metrics.append(("sim_time", label, float(sim_time), False))
+        if sim_events is not None:
+            out.metrics.append(("sim_events", label, float(sim_events), False))
+        out.bench_cases.append((
+            bench,
+            case_id,
+            bool(case.get("ok")),
+            bool(case.get("deterministic")),
+            sim_events,
+            sim_time,
+            wall_min,
+        ))
+        for triple in (sim.get("top") or []):
+            out.profile_sections.append((
+                triple.get("daemon", "?"),
+                triple.get("phase", "?"),
+                str(triple.get("scope", "?")),
+                int(triple.get("events", 0)),
+                float(triple.get("sim_time", 0.0)),
+            ))
+    return out
+
+
+def _campaign_common(obj: dict, source: str, out: Extracted) -> None:
+    """Cells, violations, and totals shared by campaign and fuzz reports."""
+    cells = _require(obj, "cells", list, source, f"{out.kind} report")
+    totals = _require(obj, "totals", dict, source, f"{out.kind} report")
+    for record in cells:
+        if not isinstance(record, dict) or "cell" not in record:
+            raise IngestError("MALFORMED", source, f"{out.kind} cell without a 'cell' id")
+        jobs = record.get("jobs") or {}
+        cell_id = record["cell"]
+        out.cells.append((
+            cell_id,
+            len(record.get("injections") or []),
+            int(jobs.get("completed", 0)),
+            int(jobs.get("held", 0)),
+            int(jobs.get("unfinished", 0)),
+            len(record.get("violations") or []),
+            record.get("makespan"),
+            record.get("error"),
+        ))
+        for violation in (record.get("violations") or []):
+            out.violations.append((
+                cell_id,
+                int(violation.get("principle", 0)),
+                str(violation.get("subject", "?")),
+                str(violation.get("description", "?")),
+            ))
+        profile = record.get("profile")
+        for triple in ((profile or {}).get("top") or []):
+            out.profile_sections.append((
+                triple.get("daemon", "?"),
+                triple.get("phase", "?"),
+                str(triple.get("scope", "?")),
+                int(triple.get("events", 0)),
+                float(triple.get("sim_time", 0.0)),
+            ))
+    for name in ("cells", "cells_with_violations", "violations", "live_mismatches"):
+        if name in totals:
+            out.metrics.append((name, "total", float(totals[name]), False))
+    for principle, count in (totals.get("by_principle") or {}).items():
+        out.metrics.append(("violations", str(principle), float(count), False))
+
+
+def _extract_campaign(obj: dict, source: str) -> Extracted:
+    campaign = _require(obj, "campaign", dict, source, "campaign report")
+    out = Extracted(
+        kind="campaign",
+        artifact_schema="repro-campaign/1",
+        config={"kind": "campaign", "campaign": campaign},
+        seed=campaign.get("seed"),
+        payload=strip_wall(obj),
+    )
+    _campaign_common(obj, source, out)
+    return out
+
+
+def _extract_fuzz(obj: dict, source: str) -> Extracted:
+    campaign = _require(obj, "campaign", dict, source, "fuzz report")
+    fuzz = _require(obj, "fuzz", dict, source, "fuzz report")
+    out = Extracted(
+        kind="fuzz",
+        artifact_schema="repro-campaign-fuzz/1",
+        config={"kind": "fuzz", "campaign": campaign, "fuzz": fuzz},
+        seed=campaign.get("seed"),
+        payload=strip_wall(obj),
+    )
+    _campaign_common(obj, source, out)
+    totals = obj["totals"]
+    for name in ("features", "corpus", "distinct_violations", "batches"):
+        if name in totals:
+            out.metrics.append((name, "total", float(totals[name]), False))
+    marks = obj.get("violations") or {}
+    for name in ("first_violation_at", "all_principles_at"):
+        if marks.get(name) is not None:
+            out.metrics.append((name, "total", float(marks[name]), False))
+    return out
+
+
+def _extract_harness(obj: dict, source: str) -> Extracted:
+    experiments = _require(obj, "experiments", dict, source, "harness payload")
+    out = Extracted(
+        kind="harness",
+        artifact_schema="repro-harness/1",
+        config={"kind": "harness", "experiments": sorted(experiments)},
+        seed=obj.get("seed"),
+        payload=strip_wall(obj),
+    )
+    for name, data in sorted(experiments.items()):
+        if not isinstance(data, dict):
+            continue
+        for attr, value in sorted(data.items()):
+            # scalar numeric result fields become trendable metrics
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out.metrics.append((attr, name, float(value), False))
+    return out
+
+
+def _extract_metrics(obj: dict, source: str) -> Extracted:
+    counters = _require(obj, "counters", dict, source, "metrics snapshot")
+    histograms = _require(obj, "histograms", dict, source, "metrics snapshot")
+    out = Extracted(
+        kind="metrics",
+        artifact_schema="repro-metrics/1",
+        config={"kind": "metrics", "series": sorted(counters) + sorted(histograms)},
+        seed=None,
+        payload=strip_wall(obj),
+    )
+    hops: dict[str, float] = {}
+    for key, value in sorted(counters.items()):
+        name, label = _split_series_key(key)
+        out.metrics.append((name, label, float(value), False))
+        if name == "error_hops_total":
+            scope = dict(
+                part.split("=", 1) for part in label.split(",") if "=" in part
+            ).get("scope", "?")
+            hops[scope] = hops.get(scope, 0.0) + float(value)
+    for key, value in sorted((obj.get("gauges") or {}).items()):
+        name, label = _split_series_key(key)
+        out.metrics.append((name, label, float(value), False))
+    for key, hist in sorted(histograms.items()):
+        name, label = _split_series_key(key)
+        for q in ("p50", "p95", "p99"):
+            if isinstance(hist, dict) and hist.get(q) is not None:
+                out.metrics.append((f"{name}:{q}", label, float(hist[q]), False))
+    out.error_hops = [(scope, int(n)) for scope, n in sorted(hops.items())]
+    return out
+
+
+def _split_series_key(key: str) -> tuple[str, str]:
+    """``error_hops_total{hop=X,scope=Y}`` -> (name, ``hop=X,scope=Y``)."""
+    name, brace, labels = key.partition("{")
+    return (name, labels.rstrip("}")) if brace else (name, "")
+
+
+def _extract_profile(obj: dict, source: str) -> Extracted:
+    sim = _require(obj, "sim", dict, source, "profile report")
+    out = Extracted(
+        kind="profile",
+        artifact_schema="repro-profile/1",
+        config={"kind": "profile"},
+        seed=None,
+        payload=strip_wall(obj),
+    )
+    out.metrics.append(("sim_time", "total", float(sim.get("sim_time") or 0.0), False))
+    out.metrics.append(("sim_events", "total", float(sim.get("events") or 0), False))
+    for triple in (sim.get("triples") or []):
+        out.profile_sections.append((
+            triple.get("daemon", "?"),
+            triple.get("phase", "?"),
+            str(triple.get("scope", "?")),
+            int(triple.get("events", 0)),
+            float(triple.get("sim_time", 0.0)),
+        ))
+    critical = obj.get("critical_path") or {}
+    if critical.get("makespan") is not None:
+        out.metrics.append(("makespan", "total", float(critical["makespan"]), False))
+    return out
+
+
+def _extract_trace(lines: list[dict], source: str) -> Extracted:
+    """A JSONL trace reduces to a deterministic summary payload.
+
+    Full traces are megabytes of already-on-disk evidence; the store
+    keeps their *shape* -- event counts by topic and name, span counts,
+    and the error hops by scope the console's JOB->...->GRID panel
+    plots.
+    """
+    by_topic: dict[str, int] = {}
+    by_event: dict[str, int] = {}
+    hops: dict[str, int] = {}
+    spans = 0
+    last_time = 0.0
+    for record in lines:
+        kind = record.get("kind")
+        if kind == "span":
+            spans += 1
+            continue
+        if kind != "event":
+            raise IngestError(
+                "MALFORMED", source, f"trace line is neither event nor span: {record!r}"
+            )
+        topic = str(record.get("topic", "?"))
+        by_topic[topic] = by_topic.get(topic, 0) + 1
+        name = f"{topic}:{record.get('name', '?')}"
+        by_event[name] = by_event.get(name, 0) + 1
+        last_time = max(last_time, float(record.get("t") or 0.0))
+        if topic == "error":
+            scope = str((record.get("attrs") or {}).get("scope", "?"))
+            hops[scope] = hops.get(scope, 0) + 1
+    payload = {
+        "schema": "repro-trace/1",
+        "events": sum(by_topic.values()),
+        "spans": spans,
+        "last_time": last_time,
+        "by_topic": dict(sorted(by_topic.items())),
+        "by_event": dict(sorted(by_event.items())),
+        "error_hops": dict(sorted(hops.items())),
+    }
+    out = Extracted(
+        kind="trace",
+        artifact_schema="repro-trace/1",
+        config={"kind": "trace"},
+        seed=None,
+        payload=payload,
+    )
+    for topic, count in sorted(by_topic.items()):
+        out.metrics.append(("events", topic, float(count), False))
+    out.metrics.append(("spans", "total", float(spans), False))
+    out.error_hops = sorted(hops.items())
+    return out
+
+
+# -- detection ----------------------------------------------------------
+def extract(obj: Any, source: str) -> Extracted:
+    """Detect and extract one parsed JSON artifact."""
+    if not isinstance(obj, dict):
+        raise IngestError(
+            "UNRECOGNIZED", source, f"top-level JSON is {type(obj).__name__}, not an object"
+        )
+    if obj.get("schema") == "repro-bench/1":
+        return _extract_bench(obj, source)
+    if obj.get("format") == "repro-campaign-fuzz/1":
+        return _extract_fuzz(obj, source)
+    if obj.get("schema") == "repro-profile/1":
+        return _extract_profile(obj, source)
+    if {"campaign", "cells", "totals"} <= obj.keys():
+        return _extract_campaign(obj, source)
+    if {"counters", "gauges", "histograms"} <= obj.keys():
+        return _extract_metrics(obj, source)
+    if {"seed", "experiments"} <= obj.keys():
+        return _extract_harness(obj, source)
+    known = ", ".join(sorted(ARTIFACT_SCHEMAS))
+    raise IngestError(
+        "UNRECOGNIZED",
+        source,
+        f"no artifact schema matches keys {sorted(obj)[:6]}; known schemas: {known}",
+    )
+
+
+def extract_text(text: str, source: str) -> Extracted:
+    """Detect and extract one artifact from raw file text (JSON or JSONL)."""
+    stripped = text.strip()
+    if not stripped:
+        raise IngestError("NOT_JSON", source, "file is empty")
+    try:
+        return extract(json.loads(stripped), source)
+    except json.JSONDecodeError:
+        pass
+    # Not one JSON document: try a JSONL trace, line by line.
+    lines: list[dict] = []
+    for i, line in enumerate(stripped.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise IngestError(
+                "NOT_JSON", source, f"line {i} is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(record, dict):
+            raise IngestError("MALFORMED", source, f"trace line {i} is not an object")
+        lines.append(record)
+    return _extract_trace(lines, source)

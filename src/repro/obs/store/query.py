@@ -1,0 +1,182 @@
+"""Query-side rendering for the results store: run listings, trend
+tables across commits, and commit-to-commit diffs.
+
+``trend`` renders one metric's trajectory -- one row per commit in
+first-ingestion order, one column per label -- and flags wall-side
+regressions by the exact rule :mod:`repro.bench.compare` applies in CI
+(fractional threshold on the value, with a floor below which timings
+are noise).  ``diff`` goes further for bench artifacts: the stored
+payloads are already wall-stripped, so the sim side is compared
+byte-exactly via :func:`~repro.bench.compare.compare_records`, and the
+wall side comes from the store's wall-flagged metric rows.
+"""
+
+from __future__ import annotations
+
+from repro.bench.compare import (
+    DEFAULT_MIN_WALL_SECONDS,
+    DEFAULT_WALL_THRESHOLD,
+    compare_records,
+)
+from repro.obs.store import ResultsStore
+
+__all__ = ["diff_commits", "render_diff", "render_runs", "render_trend", "trend_table"]
+
+
+def render_runs(rows: list[dict], strip_wall: bool = False) -> str:
+    """The run listing; ``--strip-wall`` drops the wall-side columns so
+    the output is byte-identical across hosts and ingestion times."""
+    from repro.harness.report import Table
+
+    headers = ["run", "kind", "source", "schema", "config", "seed", "payload sha", "bytes"]
+    if not strip_wall:
+        headers += ["commit", "ingested at"]
+    table = Table(headers, title=f"results store: {len(rows)} run(s)")
+    for row in rows:
+        cells = [
+            row["run_id"],
+            row["kind"],
+            row["source"],
+            row["schema"],
+            row["config_hash"],
+            "-" if row["seed"] is None else row["seed"],
+            row["payload_sha"],
+            row["payload_bytes"],
+        ]
+        if not strip_wall:
+            cells += [row["commit"], f"{row['ingested_at']:.0f}"]
+        table.add_row(cells)
+    if not rows:
+        table.add_row(["(empty)"] + ["-"] * (len(headers) - 1))
+    return table.render()
+
+
+def trend_table(
+    trend: dict,
+    wall_threshold: float = DEFAULT_WALL_THRESHOLD,
+    min_wall_seconds: float = DEFAULT_MIN_WALL_SECONDS,
+) -> tuple[str, list[str]]:
+    """Render one metric's per-commit trajectory; return (table, regressions).
+
+    A wall-flagged series regresses when a commit's value exceeds the
+    previous non-missing value by more than *wall_threshold* and both
+    clear *min_wall_seconds* -- the ``repro.bench compare`` rule.
+    Regressed entries are marked ``!`` in the table and itemised.
+    """
+    from repro.harness.report import Table
+
+    commits = trend["commits"]
+    series = trend["series"]
+    labels = list(series)
+    regressions: list[str] = []
+    flagged: dict[tuple[str, int], bool] = {}
+    for label in labels:
+        if not trend["wall"].get(label):
+            continue
+        previous = None
+        for i, value in enumerate(series[label]):
+            if value is None:
+                continue
+            if (
+                previous is not None
+                and not (previous < min_wall_seconds and value < min_wall_seconds)
+                and value > previous * (1.0 + wall_threshold)
+            ):
+                flagged[(label, i)] = True
+                regressions.append(
+                    f"{trend['metric']}[{label}]: {previous:.4f} -> {value:.4f} "
+                    f"at {commits[i]} (> {wall_threshold:+.0%} threshold)"
+                )
+            previous = value
+    table = Table(
+        ["commit"] + labels,
+        title=f"trend: {trend['metric']} across {len(commits)} commit(s)",
+    )
+    for i, sha in enumerate(commits):
+        row: list = [sha]
+        for label in labels:
+            value = series[label][i]
+            if value is None:
+                row.append("-")
+            else:
+                text = f"{value:.6g}"
+                row.append(f"{text} !" if flagged.get((label, i)) else text)
+        table.add_row(row)
+    if not commits:
+        table.add_row(["(no data)"] + ["-"] * len(labels))
+    if regressions:
+        table.add_footer(f"{len(regressions)} wall regression(s) flagged (!)")
+    return table.render(), regressions
+
+
+def render_trend(trend: dict) -> str:
+    return trend_table(trend)[0]
+
+
+def diff_commits(
+    store: ResultsStore,
+    commit_a: str,
+    commit_b: str,
+    wall_threshold: float = DEFAULT_WALL_THRESHOLD,
+    min_wall_seconds: float = DEFAULT_MIN_WALL_SECONDS,
+) -> dict:
+    """Compare everything two commits both recorded.
+
+    Bench payloads go through :func:`compare_records` (sim side exact --
+    the payloads are stored wall-stripped, so this is a pure behaviour
+    diff); wall-flagged metric rows are judged by the threshold rule.
+    Benchmarks present on only one side are problems, same as the CI
+    gate.
+    """
+    known = store.commits()
+    missing = [sha for sha in (commit_a, commit_b) if sha not in known]
+    if missing:
+        raise LookupError(
+            f"commit(s) {', '.join(missing)} not in the results store"
+            f" (known: {', '.join(known) if known else 'none'})"
+        )
+    old_bench = store.bench_payloads(commit_a)
+    new_bench = store.bench_payloads(commit_b)
+    problems: list[str] = []
+    for name in sorted(set(old_bench) - set(new_bench)):
+        problems.append(f"{name}: present at {commit_a} only")
+    for name in sorted(set(new_bench) - set(old_bench)):
+        problems.append(f"{name}: present at {commit_b} only")
+    compared = sorted(set(old_bench) & set(new_bench))
+    for name in compared:
+        # Payloads are wall-stripped, so only the exact sim side fires here.
+        problems.extend(
+            compare_records(old_bench[name], new_bench[name], check_wall=False)
+        )
+    old_wall = store.wall_metrics(commit_a)
+    new_wall = store.wall_metrics(commit_b)
+    wall_compared = 0
+    for key in sorted(set(old_wall) & set(new_wall)):
+        before, after = old_wall[key], new_wall[key]
+        if before < min_wall_seconds and after < min_wall_seconds:
+            continue
+        wall_compared += 1
+        if after > before * (1.0 + wall_threshold):
+            name, label = key
+            problems.append(
+                f"{name}[{label}]: wall regression {before:.4f}s -> {after:.4f}s "
+                f"(> {wall_threshold:+.0%} threshold)"
+            )
+    return {
+        "commit_a": commit_a,
+        "commit_b": commit_b,
+        "benchmarks": compared,
+        "wall_metrics": wall_compared,
+        "problems": problems,
+    }
+
+
+def render_diff(diff: dict) -> str:
+    lines = [
+        f"diff {diff['commit_a']} -> {diff['commit_b']}: "
+        f"{len(diff['benchmarks'])} benchmark(s), "
+        f"{diff['wall_metrics']} wall metric(s) compared"
+    ]
+    lines.extend(f"REGRESSION: {problem}" for problem in diff["problems"])
+    lines.append("OK" if not diff["problems"] else f"{len(diff['problems'])} problem(s)")
+    return "\n".join(lines)

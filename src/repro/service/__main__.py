@@ -52,7 +52,12 @@ async def _serve(args: argparse.Namespace, secret: str) -> int:
     store = RunStore(args.db)
     api = ServiceApi(
         store,
-        ServiceConfig(secret=secret, queue_limit=args.queue_limit, bench_dir=args.bench_dir),
+        ServiceConfig(
+            secret=secret,
+            queue_limit=args.queue_limit,
+            bench_dir=args.bench_dir,
+            results_db=None if args.results_db == "none" else args.results_db,
+        ),
     )
     executor = ServiceExecutor(
         store,
@@ -62,9 +67,11 @@ async def _serve(args: argparse.Namespace, secret: str) -> int:
     )
     server = ServiceServer(api, executor=executor, host=args.host, port=args.port)
     await server.start()
+    console = "off" if api.results_web is None else f"/console <- {args.results_db}"
     print(
         f"repro.service listening on http://{server.host}:{server.port} "
-        f"(db={args.db}, workers={args.workers}, queue_limit={args.queue_limit})",
+        f"(db={args.db}, workers={args.workers}, queue_limit={args.queue_limit}, "
+        f"console={console})",
         flush=True,
     )
     loop = asyncio.get_running_loop()
@@ -106,6 +113,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="seed for grid-job batch pools")
     serve.add_argument("--bench-dir", default="benchmarks/baseline",
                        help="directory of BENCH_*.json baselines to serve")
+    serve.add_argument("--results-db", default="repro-results.db", metavar="PATH",
+                       help="results store backing /console and /v1/results "
+                            "(default: repro-results.db; 'none' disables)")
 
     mint = commands.add_parser("mint-token", help="mint a bearer token")
     mint.add_argument("--secret", default=None)

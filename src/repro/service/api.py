@@ -18,6 +18,8 @@ Routes (v1)::
     GET  /v1/runs/<id>/artifacts/<name>     artifact content
     GET  /v1/bench                          committed benchmark baselines
     GET  /v1/bench/<name>                   one baseline's JSON
+    GET  /console                           GridConsole page (unauthenticated)
+    GET  /v1/results/<view>                 results-store JSON (unauthenticated)
 
 Admission control happens here: beyond ``queue_limit`` active runs every
 submission is rejected with typed ``QUEUE_FULL`` -- the graceful-
@@ -31,7 +33,9 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
+from urllib.parse import parse_qsl
 
+from repro.obs.web import ResultsWeb
 from repro.service.auth import bearer_user
 from repro.service.errors import BadRequest, NotFound, QueueFull, WrongTenant
 from repro.service.specs import (
@@ -57,6 +61,8 @@ class ServiceConfig:
     queue_limit: int = 1000
     #: directory of committed BENCH_*.json baselines served read-only
     bench_dir: str | None = "benchmarks/baseline"
+    #: longitudinal results store backing /console; None disables the view
+    results_db: str | None = "repro-results.db"
     #: wall clock; injectable for tests (expiry without sleeping)
     now: Callable[[], float] = field(default=time.time)
 
@@ -67,6 +73,21 @@ class ServiceApi:
     def __init__(self, store: RunStore, config: ServiceConfig):
         self.store = store
         self.config = config
+        # Live-traffic counters surfaced on the console's summary tile.
+        self.requests_total = 0
+        self.requests_by_route: dict[str, int] = {}
+        self.results_web = (
+            None
+            if config.results_db is None
+            else ResultsWeb(config.results_db, service_stats=self._service_stats)
+        )
+
+    def _service_stats(self) -> dict:
+        return {
+            "requests_total": self.requests_total,
+            "requests_by_route": dict(sorted(self.requests_by_route.items())),
+            "queue": self.store.queue_stats(),
+        }
 
     # -- entrypoint ------------------------------------------------------
     def handle(
@@ -77,7 +98,22 @@ class ServiceApi:
         Raises :class:`ServiceError` subtypes for every rejection; the
         transport turns them into their HTTP envelope.
         """
+        path, _, query_string = path.partition("?")
         parts = [p for p in path.split("/") if p]
+        self.requests_total += 1
+        route = "/" + "/".join(parts[:2])
+        self.requests_by_route[route] = self.requests_by_route.get(route, 0) + 1
+        # The console and its data feed are read-only observability over a
+        # separate store; they mount before auth, like /v1/health.
+        if method == "GET" and parts == ["console"]:
+            if self.results_web is None:
+                raise NotFound("this service instance mounts no results store")
+            return self.results_web.console_page()
+        if len(parts) >= 2 and parts[0] == API_VERSION and parts[1] == "results":
+            if self.results_web is None:
+                raise NotFound("this service instance mounts no results store")
+            query = dict(parse_qsl(query_string))
+            return self.results_web.handle(method, parts[2:], query)
         if not parts or parts[0] != API_VERSION:
             raise NotFound(f"unknown API root {path!r}; routes live under /{API_VERSION}/")
         parts = parts[1:]

@@ -37,12 +37,16 @@ MAX_HEAD_BYTES = 32 * 1024
 #: Request-body byte budget: specs are small; anything bigger is noise.
 MAX_BODY_BYTES = 1 << 20
 
-_CONTENT_TYPES = {"json": "application/json", "text": "text/plain; charset=utf-8"}
+_CONTENT_TYPES = {
+    "json": "application/json",
+    "text": "text/plain; charset=utf-8",
+    "html": "text/html; charset=utf-8",
+}
 _STATUS_TEXT = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 401: "Unauthorized",
-    403: "Forbidden", 404: "Not Found", 413: "Payload Too Large",
-    429: "Too Many Requests", 431: "Request Header Fields Too Large",
-    500: "Internal Server Error",
+    403: "Forbidden", 404: "Not Found", 405: "Method Not Allowed",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    431: "Request Header Fields Too Large", 500: "Internal Server Error",
 }
 
 

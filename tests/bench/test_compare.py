@@ -160,3 +160,46 @@ class TestCli:
     def test_rounds_must_be_positive(self):
         with pytest.raises(SystemExit):
             main(["--rounds", "0", "--list"])
+
+
+class TestMissingBaseline:
+    """A missing comparison side is NOT a regression: distinct exception,
+    distinct message, distinct exit code (2, so CI can tell "no baseline
+    yet" from "benchmarks regressed")."""
+
+    def _candidate_dir(self, tmp_path):
+        new = tmp_path / "new"
+        new.mkdir()
+        (new / "BENCH_demo.json").write_text(json.dumps(RECORD))
+        return new
+
+    def test_nonexistent_baseline_raises(self, tmp_path):
+        from repro.bench.compare import MissingBaselineError
+
+        with pytest.raises(MissingBaselineError, match="baseline"):
+            compare_paths(tmp_path / "ghost", self._candidate_dir(tmp_path))
+
+    def test_empty_existing_dir_still_compares(self, tmp_path):
+        # An existing-but-empty dir is not "missing": its absent
+        # benchmarks surface as ordinary problems, same as the seed.
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        problems, compared = compare_paths(empty, self._candidate_dir(tmp_path))
+        assert compared == 0
+        assert problems == ["BENCH_demo.json: present in new run only"]
+
+    def test_missing_candidate_names_that_side(self, tmp_path):
+        from repro.bench.compare import MissingBaselineError
+
+        baseline = self._candidate_dir(tmp_path)
+        with pytest.raises(MissingBaselineError, match="candidate"):
+            compare_paths(baseline, tmp_path / "ghost")
+
+    def test_cli_exit_code_distinct_from_regression(self, tmp_path, capsys):
+        new = self._candidate_dir(tmp_path)
+        code = main(["compare", str(tmp_path / "ghost"), str(new)])
+        captured = capsys.readouterr()
+        assert code == 2  # not 1: nothing regressed, there is nothing to diff
+        assert "MISSING BASELINE" in captured.err
+        assert "python -m repro.bench" in captured.err
+        assert "REGRESSION" not in captured.out

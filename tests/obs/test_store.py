@@ -1,0 +1,351 @@
+"""The longitudinal results store: ingest, query, trend, diff, gc.
+
+Covers the contract DESIGN.md §3.6f states: every artifact schema the
+reproduction emits round-trips through ``ingest``; deterministic
+payloads are stored wall-stripped so ``query --strip-wall`` output is
+byte-identical whether the source run was serial or fanned out over
+``--jobs``; the store reopens and appends; malformed artifacts are
+rejected with structured errors, never half-ingested.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.engine import run_campaign
+from repro.campaign.spec import CampaignConfig
+from repro.obs.store import (
+    IngestError,
+    ResultsStore,
+    canonical_json,
+    config_hash,
+)
+from repro.obs.store.__main__ import main as store_main
+
+BENCH_RECORD = {
+    "schema": "repro-bench/1",
+    "bench": "toy",
+    "rounds_override": None,
+    "cases": {
+        "case_a": {
+            "ok": True,
+            "deterministic": True,
+            "iterations": 2,
+            "rounds": 1,
+            "error": None,
+            "wall_seconds": {"min": 0.25, "max": 0.25, "mean": 0.25,
+                             "per_round": [0.25]},
+            "sim": {"events": 10, "sim_time": 5.0, "triples": [], "top": [
+                {"daemon": "schedd", "phase": "match", "scope": "-",
+                 "events": 10, "sim_time": 5.0},
+            ]},
+            "histograms": {},
+            "critical_path": [],
+            "folded": ["schedd;match 5.0"],
+        }
+    },
+}
+
+FUZZ_REPORT = {
+    "format": "repro-campaign-fuzz/1",
+    "campaign": {"mode": "scoped", "seed": 3},
+    "fuzz": {"budget_cells": 4, "batch_size": 2, "order_max": 3},
+    "cells": [
+        {
+            "cell": "scoped/3/x", "mode": "scoped", "seed": 3, "injections": [],
+            "jobs": {"total": 4, "completed": 3, "held": 1, "unfinished": 0},
+            "makespan": 41.5, "violations": [
+                {"principle": 1, "subject": "job-2", "description": "lost"},
+            ],
+            "live_violations": [], "live_matches_posthoc": False,
+            "profile": None, "error": None,
+        },
+    ],
+    "totals": {
+        "cells": 1, "cells_with_violations": 1, "violations": 1,
+        "by_principle": {"P1": 1, "P2": 0, "P3": 0, "P4": 0},
+        "live_mismatches": 1, "errors": 0, "features": 7, "corpus": 3,
+        "distinct_violations": 1, "batches": 2, "max_minimal_order": 1,
+    },
+    "violations": {"signatures": {}, "first_violation_at": 1,
+                   "all_principles_at": None},
+    "reproducers": [],
+}
+
+HARNESS_PAYLOAD = {
+    "seed": 5,
+    "experiments": {
+        "fig_x": {"completed": 9, "held": 1, "label": "x"},
+    },
+}
+
+TRACE_JSONL = "\n".join([
+    json.dumps({"kind": "event", "topic": "job", "name": "submit",
+                "time": 1.0, "attrs": {"job": "j1"}}),
+    json.dumps({"kind": "event", "topic": "error", "name": "hop",
+                "time": 2.0, "attrs": {"scope": "JOB"}}),
+    json.dumps({"kind": "span", "name": "match", "start": 1.0, "end": 2.0}),
+])
+
+
+def campaign_report(jobs=1):
+    config = CampaignConfig(mode="scoped", seed=1, kinds=("MachineCrash",))
+    return run_campaign(config, jobs=jobs, shrink=False)
+
+
+class TestIngestRoundTrip:
+    """Every artifact schema in, the same deterministic payload out."""
+
+    def test_bench_round_trip(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.db")
+        run_id = store.ingest_obj(BENCH_RECORD, source="BENCH_toy.json",
+                                  commit="aaa")
+        row = store.runs()[0]
+        assert (row["kind"], row["schema"]) == ("bench", "repro-bench/1")
+        payload = store.payload(run_id)
+        # Stored wall-stripped: sim side intact, wall keys gone.
+        assert payload["cases"]["case_a"]["sim"]["events"] == 10
+        assert "wall_seconds" not in payload["cases"]["case_a"]
+        # ... but the wall time still lands in a wall-flagged metric row.
+        assert ("wall_seconds", "toy:case_a") in store.wall_metrics("aaa")
+        store.close()
+
+    def test_campaign_round_trip(self, tmp_path):
+        report = campaign_report()
+        store = ResultsStore(tmp_path / "r.db")
+        run_id = store.ingest_obj(report, source="campaign.json", commit="aaa")
+        row = store.runs(kind="campaign")[0]
+        assert row["schema"] == "repro-campaign/1"
+        assert row["seed"] == report["campaign"]["seed"]
+        assert store.payload(run_id) == report  # campaign reports carry no wall
+        matrix = store.matrix()
+        assert len(matrix["cells"]) == len(report["cells"])
+        store.close()
+
+    def test_fuzz_round_trip_with_violations(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.db")
+        store.ingest_obj(FUZZ_REPORT, source="fuzz.json", commit="bbb")
+        row = store.runs(kind="fuzz")[0]
+        assert row["schema"] == "repro-campaign-fuzz/1"
+        assert store.violation_count() == 1
+        cells = store.matrix()["cells"]
+        assert cells[0]["violations"] == 1
+        store.close()
+
+    def test_harness_round_trip(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.db")
+        run_id = store.ingest_obj(HARNESS_PAYLOAD, source="harness:fig_x",
+                                  commit="ccc")
+        row = store.runs(kind="harness")[0]
+        assert row["seed"] == 5
+        assert store.payload(run_id) == HARNESS_PAYLOAD
+        # Scalar numeric experiment fields become queryable metrics.
+        trend = store.trend("completed")
+        assert trend["series"]["fig_x"] == [9]
+        store.close()
+
+    def test_trace_metrics_profile_kinds(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.db")
+        store.ingest_text(TRACE_JSONL, source="t.jsonl", commit="ddd")
+        row = store.runs(kind="trace")[0]
+        assert row["schema"] == "repro-trace/1"
+        assert store.error_hops()["JOB"] == 1
+        store.close()
+
+
+class TestStripWallByteIdentity:
+    """The determinism contract: serial and --jobs 4 source runs store
+    byte-identical deterministic payloads, and the CLI's --strip-wall
+    query output is byte-identical too."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return campaign_report(jobs=1), campaign_report(jobs=4)
+
+    def test_payloads_byte_identical(self, tmp_path, reports):
+        serial, fanned = reports
+        a = ResultsStore(tmp_path / "serial.db")
+        b = ResultsStore(tmp_path / "jobs4.db")
+        ra = a.ingest_obj(serial, source="campaign.json", commit="s")
+        rb = b.ingest_obj(fanned, source="campaign.json", commit="j")
+        assert canonical_json(a.payload(ra)) == canonical_json(b.payload(rb))
+        a.close()
+        b.close()
+
+    def test_query_strip_wall_output_identical(self, tmp_path, reports, capsys):
+        serial, fanned = reports
+        outputs = []
+        for name, report in (("serial", serial), ("jobs4", fanned)):
+            db = str(tmp_path / f"{name}.db")
+            store = ResultsStore(db, now=lambda: 1000.0 if name == "serial" else 2000.0)
+            store.ingest_obj(report, source="campaign.json", commit=name)
+            store.close()
+            assert store_main(["query", "--db", db, "--strip-wall"]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_without_strip_wall_outputs_differ(self, tmp_path, reports, capsys):
+        serial, fanned = reports
+        outputs = []
+        for name, report in (("serial", serial), ("jobs4", fanned)):
+            db = str(tmp_path / f"{name}.db")
+            store = ResultsStore(db, now=lambda: 1000.0 if name == "serial" else 2000.0)
+            store.ingest_obj(report, source="campaign.json", commit=name)
+            store.close()
+            assert store_main(["query", "--db", db]) == 0
+            outputs.append(capsys.readouterr().out)
+        # Sanity check on the contract: the wall-side columns DO differ.
+        assert outputs[0] != outputs[1]
+
+
+class TestPersistence:
+    def test_reopen_and_append(self, tmp_path):
+        db = tmp_path / "r.db"
+        store = ResultsStore(db)
+        store.ingest_obj(BENCH_RECORD, source="BENCH_toy.json", commit="aaa")
+        store.close()
+        store = ResultsStore(db)
+        assert len(store.runs()) == 1
+        store.ingest_obj(HARNESS_PAYLOAD, source="harness:fig_x", commit="bbb")
+        assert [r["commit"] for r in store.runs()] == ["aaa", "bbb"]
+        assert store.commits() == ["aaa", "bbb"]
+        store.close()
+
+    def test_foreign_schema_file_is_refused(self, tmp_path):
+        db = tmp_path / "r.db"
+        import sqlite3
+
+        conn = sqlite3.connect(db)
+        conn.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
+        conn.execute("INSERT INTO meta VALUES ('schema', 'other/9')")
+        conn.commit()
+        conn.close()
+        from repro.obs.store import StoreSchemaError
+
+        with pytest.raises(StoreSchemaError):
+            ResultsStore(db)
+
+    def test_gc_keeps_newest_per_kind_and_config(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.db")
+        for commit in ("a", "b", "c"):
+            store.ingest_obj(BENCH_RECORD, source="BENCH_toy.json", commit=commit)
+        dry = store.gc(keep=1, dry_run=True)
+        assert len(dry["deleted"]) == 2 and len(store.runs()) == 3
+        result = store.gc(keep=1)
+        assert len(result["deleted"]) == 2
+        rows = store.runs()
+        assert len(rows) == 1 and rows[0]["commit"] == "c"
+        # Child rows went with their runs.
+        assert store.wall_metrics("a") == {}
+        store.close()
+
+
+class TestRejection:
+    """Malformed artifacts come back as structured errors, never rows."""
+
+    def test_not_json(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.db")
+        with pytest.raises(IngestError) as err:
+            store.ingest_text("not json {", source="junk.txt")
+        assert err.value.code == "NOT_JSON"
+        assert err.value.source == "junk.txt"
+        assert store.runs() == []
+        store.close()
+
+    def test_unrecognized_schema(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.db")
+        with pytest.raises(IngestError) as err:
+            store.ingest_obj({"hello": "world"}, source="mystery.json")
+        assert err.value.code == "UNRECOGNIZED"
+        assert store.runs() == []
+        store.close()
+
+    def test_malformed_known_schema(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.db")
+        with pytest.raises(IngestError) as err:
+            store.ingest_obj({"schema": "repro-bench/1", "cases": "nope"},
+                             source="BENCH_bad.json")
+        assert err.value.code == "MALFORMED"
+        assert "BENCH_bad.json" in str(err.value)
+        assert err.value.to_dict()["code"] == "MALFORMED"
+        assert store.runs() == []
+        store.close()
+
+    def test_cli_ingest_continues_past_rejects(self, tmp_path, capsys):
+        good = tmp_path / "BENCH_toy.json"
+        good.write_text(json.dumps(BENCH_RECORD), encoding="utf-8")
+        bad = tmp_path / "junk.json"
+        bad.write_text("{", encoding="utf-8")
+        db = str(tmp_path / "r.db")
+        code = store_main(["ingest", str(good), str(bad), "--db", db,
+                           "--commit", "abc"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REJECTED" in captured.err
+        store = ResultsStore(db)
+        assert len(store.runs()) == 1  # the good file still landed
+        store.close()
+
+
+class TestTrendAndDiff:
+    def _bench_at(self, wall):
+        record = json.loads(json.dumps(BENCH_RECORD))
+        record["cases"]["case_a"]["wall_seconds"] = {
+            "min": wall, "max": wall, "mean": wall, "per_round": [wall],
+        }
+        return record
+
+    def test_trend_axis_is_commit_order(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.db")
+        for commit, wall in (("a", 0.2), ("b", 0.3)):
+            store.ingest_obj(self._bench_at(wall), source="BENCH_toy.json",
+                             commit=commit)
+        trend = store.trend("wall_seconds")
+        assert trend["commits"] == ["a", "b"]
+        assert trend["series"]["toy:case_a"] == [0.2, 0.3]
+        assert trend["wall"]["toy:case_a"] is True
+        store.close()
+
+    def test_trend_cli_flags_wall_regression(self, tmp_path, capsys):
+        db = str(tmp_path / "r.db")
+        store = ResultsStore(db)
+        for commit, wall in (("a", 0.2), ("b", 0.9)):
+            store.ingest_obj(self._bench_at(wall), source="BENCH_toy.json",
+                             commit=commit)
+        store.close()
+        assert store_main(["trend", "--metric", "wall_seconds", "--db", db]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_trend_unknown_metric_exits_2(self, tmp_path, capsys):
+        db = str(tmp_path / "r.db")
+        ResultsStore(db).close()
+        assert store_main(["trend", "--metric", "nope", "--db", db]) == 2
+        assert "no data" in capsys.readouterr().err
+
+    def test_diff_flags_sim_change_exactly(self, tmp_path):
+        from repro.obs.store.query import diff_commits
+
+        store = ResultsStore(tmp_path / "r.db")
+        store.ingest_obj(BENCH_RECORD, source="BENCH_toy.json", commit="a")
+        changed = json.loads(json.dumps(BENCH_RECORD))
+        changed["cases"]["case_a"]["sim"]["events"] = 11  # sim-side drift
+        store.ingest_obj(changed, source="BENCH_toy.json", commit="b")
+        diff = diff_commits(store, "a", "b")
+        assert any("sim" in p or "events" in p for p in diff["problems"])
+        store.close()
+
+    def test_diff_missing_commit_exits_2(self, tmp_path, capsys):
+        db = str(tmp_path / "r.db")
+        store = ResultsStore(db)
+        store.ingest_obj(BENCH_RECORD, source="BENCH_toy.json", commit="a")
+        store.close()
+        assert store_main(["diff", "a", "ghost", "--db", db]) == 2
+        assert "MISSING COMMIT" in capsys.readouterr().err
+
+
+class TestConfigHash:
+    def test_stable_across_key_order(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_differs_across_configs(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})

@@ -87,6 +87,10 @@ PUBLIC_MODULES = [
     "repro.obs.sanitize",
     "repro.obs.signature",
     "repro.obs.span",
+    "repro.obs.store",
+    "repro.obs.store.ingest",
+    "repro.obs.store.query",
+    "repro.obs.web",
     "repro.pvm",
     "repro.pvm.program",
     "repro.remoteio",
